@@ -1,0 +1,254 @@
+// Package batchsched is a simulation library for concurrency-control
+// scheduling of batch transactions on Shared-Nothing parallel database
+// machines, reproducing Ohmori, Kitsuregawa and Tanaka, "Scheduling Batch
+// Transactions on Shared-Nothing Parallel Database Machines: Effects of
+// Concurrency and Parallelism" (ICDE 1991).
+//
+// It provides:
+//
+//   - a discrete-event model of a Shared-Nothing machine: one control node
+//     with a FCFS CPU and NumNodes data-processing nodes serving
+//     file-scanning cohorts round-robin, with declustered data placement;
+//   - the paper's seven schedulers — NODC, ASL, C2PL, C2PL+M, OPT, and the
+//     WTPG-based GOW and LOW — plus two extensions: traditional strict 2PL
+//     and the load-balancing LOW-LB;
+//   - the paper's workloads (Experiments 1-3) and an estimation-error
+//     model;
+//   - a harness that regenerates every table and figure of the paper's
+//     evaluation (see RegenerateArtifact and cmd/paperbench).
+//
+// Quickstart:
+//
+//	cfg := batchsched.DefaultConfig()
+//	cfg.ArrivalRate = 0.6
+//	sum, err := batchsched.Run(cfg, "LOW", batchsched.DefaultParams(),
+//	    batchsched.NewExp1Workload(16), 1)
+//	fmt.Println(sum.MeanRT, sum.TPS)
+package batchsched
+
+import (
+	"fmt"
+	"io"
+
+	"batchsched/internal/experiments"
+	"batchsched/internal/history"
+	"batchsched/internal/machine"
+	"batchsched/internal/metrics"
+	"batchsched/internal/model"
+	"batchsched/internal/sched"
+	"batchsched/internal/sim"
+	"batchsched/internal/trace"
+	"batchsched/internal/workload"
+)
+
+// Re-exported core types. See the internal packages' documentation for
+// field-level detail.
+type (
+	// Config is the machine and measurement configuration (paper Table 1).
+	Config = machine.Config
+	// Params is the scheduler cost/policy configuration (paper Table 1).
+	Params = sched.Params
+	// Summary is a run's digested metrics.
+	Summary = metrics.Summary
+	// Generator produces the steps of successive transactions.
+	Generator = machine.Generator
+	// Time is virtual time in microseconds (1000 per paper "clock").
+	Time = sim.Time
+	// Step is one file-scanning operation of a batch.
+	Step = model.Step
+	// FileID identifies a file (the locking granule).
+	FileID = model.FileID
+	// Mode is a lock mode (S or X).
+	Mode = model.Mode
+	// Options scales a paper-artifact regeneration.
+	Options = experiments.Options
+	// Txn is a batch transaction.
+	Txn = model.Txn
+)
+
+// Lock modes and time units.
+const (
+	S           = model.S
+	X           = model.X
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultConfig returns the paper's Table-1 machine parameters.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// DefaultParams returns the paper's Table-1 scheduler parameters (K = 2).
+func DefaultParams() Params { return sched.DefaultParams() }
+
+// Schedulers lists the scheduler names accepted by Run: the paper's lineup
+// NODC, ASL, GOW, LOW, C2PL, C2PL+M, OPT, plus the traditional strict-2PL
+// baseline "2PL" (an extension; see DESIGN.md).
+func Schedulers() []string { return append([]string(nil), sched.Names...) }
+
+// Run simulates one configuration with the named scheduler and workload
+// generator, returning the metrics summary. Each call is deterministic in
+// the seed.
+func Run(cfg Config, scheduler string, params Params, gen Generator, seed int64) (Summary, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, err
+	}
+	m, err := machine.New(cfg, s, gen, sim.NewRNG(seed))
+	if err != nil {
+		return Summary{}, err
+	}
+	return m.Run(), nil
+}
+
+// RunChecked is Run with conflict-serializability verification: it records
+// the run's committed history and returns an error if the serialization
+// graph has a cycle. NODC is expected to fail this check under contention.
+func RunChecked(cfg Config, scheduler string, params Params, gen Generator, seed int64) (Summary, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, err
+	}
+	m, err := machine.New(cfg, s, gen, sim.NewRNG(seed))
+	if err != nil {
+		return Summary{}, err
+	}
+	rec := history.New()
+	if scheduler == "OPT" {
+		// OPT is deferred-update: writes install at commit time, and the
+		// serializability check must order them accordingly.
+		rec = history.NewDeferredWrites()
+	}
+	m.SetObserver(rec)
+	sum := m.Run()
+	if err := rec.CheckSerializable(); err != nil {
+		return sum, fmt.Errorf("batchsched: %s produced a non-serializable history: %w", scheduler, err)
+	}
+	return sum, nil
+}
+
+// CI is the 95% confidence half-width of headline metrics across
+// replications.
+type CI = metrics.CI
+
+// RunReplicated runs reps independent replications (seeds seed, seed+1,
+// ...), returning their averaged summary and Student-t 95% confidence
+// half-widths on mean response time and throughput.
+func RunReplicated(cfg Config, scheduler string, params Params, gen Generator, seed int64, reps int) (Summary, CI, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	sums := make([]Summary, 0, reps)
+	for r := 0; r < reps; r++ {
+		sum, err := Run(cfg, scheduler, params, gen, seed+int64(r))
+		if err != nil {
+			return Summary{}, CI{}, err
+		}
+		sums = append(sums, sum)
+	}
+	avg, ci := metrics.AverageWithCI(sums)
+	return avg, ci, nil
+}
+
+// RunTraced is Run with a JSONL execution trace (one event per step
+// completion, commit and restart) streamed to w. See internal/trace for the
+// record format.
+func RunTraced(cfg Config, scheduler string, params Params, gen Generator, seed int64, w io.Writer) (Summary, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, err
+	}
+	m, err := machine.New(cfg, s, gen, sim.NewRNG(seed))
+	if err != nil {
+		return Summary{}, err
+	}
+	tw := trace.NewWriter(w)
+	m.SetObserver(tw)
+	sum := m.Run()
+	if err := tw.Flush(); err != nil {
+		return sum, fmt.Errorf("batchsched: writing trace: %w", err)
+	}
+	return sum, nil
+}
+
+// NewExp1Workload returns the paper's Experiment-1 generator (Pattern1 over
+// numFiles files).
+func NewExp1Workload(numFiles int) Generator { return workload.NewExp1(numFiles) }
+
+// NewExp2Workload returns the paper's Experiment-2 generator (Pattern2 over
+// 8 read-only and 8 hot files).
+func NewExp2Workload() Generator { return workload.NewExp2() }
+
+// WithCostError wraps a workload with the Experiment-3 estimation-error
+// model: declared costs become C0*(1+x), x ~ N(0, sigma²), clamped at 0.
+func WithCostError(gen Generator, sigma float64) Generator {
+	return workload.WithError{Gen: gen.(workload.Generator), Sigma: sigma}
+}
+
+// NewMixedWorkload interleaves short transactions (one tiny step of
+// shortCost objects on a random file, S-locked reads) with batches from the
+// given generator — the OLTP mix the paper's introduction motivates.
+// shortFraction is the probability an arrival is short.
+func NewMixedWorkload(batch Generator, numFiles int, shortFraction, shortCost float64) Generator {
+	return workload.Mixed{
+		Batch:         batch.(workload.Generator),
+		NumFiles:      numFiles,
+		ShortFraction: shortFraction,
+		ShortCost:     shortCost,
+	}
+}
+
+// NewFixedWorkload replays one pattern with a fixed file binding, e.g.
+//
+//	gen, err := batchsched.NewFixedWorkload("Xr(F1:1)->w(F1:0.2)",
+//	    map[string]batchsched.FileID{"F1": 3})
+func NewFixedWorkload(pattern string, binding map[string]FileID) (Generator, error) {
+	p, err := model.ParsePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	steps, err := p.Instantiate(binding)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Fixed{Template: steps}, nil
+}
+
+// ArtifactIDs lists the regenerable paper artifacts in paper order:
+// fig8, table2, fig9, table3, fig10, fig11, table4, fig12, fig13, table5.
+func ArtifactIDs() []string {
+	out := make([]string, len(experiments.Artifacts))
+	for i, a := range experiments.Artifacts {
+		out[i] = a.ID
+	}
+	return out
+}
+
+// RegenerateArtifact reruns the simulations behind one of the paper's
+// tables or figures and returns the rendered comparison table. The zero
+// Options reproduces the paper's full 2,000,000-ms windows; see Options for
+// scaled-down runs.
+func RegenerateArtifact(id string, o Options) (string, error) {
+	a, ok := experiments.FindArtifact(id)
+	if !ok {
+		return "", fmt.Errorf("batchsched: unknown artifact %q (want one of %v)", id, ArtifactIDs())
+	}
+	return a.Run(o).String(), nil
+}
+
+// ThroughputAt70s finds the arrival rate at which the configuration's mean
+// response time reaches the paper's 70-second operating point and returns
+// the throughput measured there. workload selects "exp1" or "exp2"; sigma
+// adds the Experiment-3 error model.
+func ThroughputAt70s(scheduler string, numFiles, dd int, wl string, sigma float64) float64 {
+	p := experiments.Point{
+		Scheduler: scheduler,
+		NumFiles:  numFiles,
+		DD:        dd,
+		Load:      experiments.Workload(wl),
+		Sigma:     sigma,
+		Seed:      1,
+	}
+	lambda := experiments.SolveLambdaAtRT(p, experiments.TargetRT, 0.02, 1.4, 0.01)
+	p.Lambda = lambda
+	return experiments.Run(p).TPS
+}

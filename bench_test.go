@@ -1,0 +1,113 @@
+package batchsched
+
+import (
+	"testing"
+
+	"batchsched/internal/experiments"
+	"batchsched/internal/sim"
+)
+
+// Per-artifact benchmarks. Each iteration regenerates one of the paper's
+// tables or figures at a reduced scale (100-second windows, coarse solver)
+// so that `go test -bench .` finishes in minutes; cmd/paperbench regenerates
+// them at the paper's full 2,000,000-ms scale.
+
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Duration:  100_000 * sim.Millisecond,
+		SolverTol: 0.1,
+		Seed:      1,
+	}
+}
+
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	a, ok := experiments.FindArtifact(id)
+	if !ok {
+		b.Fatalf("unknown artifact %q", id)
+	}
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := a.Run(o)
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (arrival rate vs response time, 6
+// schedulers).
+func BenchmarkFig8(b *testing.B) { benchArtifact(b, "fig8") }
+
+// BenchmarkTable2 regenerates Table 2 (NumFiles vs throughput at RT=70s).
+func BenchmarkTable2(b *testing.B) { benchArtifact(b, "table2") }
+
+// BenchmarkFig9 regenerates Fig. 9 (declustering vs throughput at RT=70s).
+func BenchmarkFig9(b *testing.B) { benchArtifact(b, "fig9") }
+
+// BenchmarkTable3 regenerates Table 3 (declustering vs response time at
+// 1.2 TPS, C2PL+M at its best admission limit).
+func BenchmarkTable3(b *testing.B) { benchArtifact(b, "table3") }
+
+// BenchmarkFig10 regenerates Fig. 10 (declustering vs response-time
+// speedup).
+func BenchmarkFig10(b *testing.B) { benchArtifact(b, "fig10") }
+
+// BenchmarkFig11 regenerates Fig. 11 (arrival rate vs speedup at DD=4).
+func BenchmarkFig11(b *testing.B) { benchArtifact(b, "fig11") }
+
+// BenchmarkTable4 regenerates Table 4 (Experiment 2 throughput and response
+// time).
+func BenchmarkTable4(b *testing.B) { benchArtifact(b, "table4") }
+
+// BenchmarkFig12 regenerates Fig. 12 (Experiment 2 declustering vs
+// speedup).
+func BenchmarkFig12(b *testing.B) { benchArtifact(b, "fig12") }
+
+// BenchmarkFig13 regenerates Fig. 13 (estimation error vs throughput).
+func BenchmarkFig13(b *testing.B) { benchArtifact(b, "fig13") }
+
+// BenchmarkTable5 regenerates Table 5 (sensitivity degradation ratios).
+func BenchmarkTable5(b *testing.B) { benchArtifact(b, "table5") }
+
+// Engine-level benchmarks: the cost of one full simulated run per
+// scheduler, at the workload and load of Fig. 8's mid-range.
+
+func benchOneRun(b *testing.B, scheduler string, lambda float64) {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.ArrivalRate = lambda
+	cfg.Duration = 200_000 * Millisecond
+	gen := NewExp1Workload(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := Run(cfg, scheduler, DefaultParams(), gen, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Completions == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+// BenchmarkRunNODC measures simulator throughput with no concurrency
+// control at all (pure machine model).
+func BenchmarkRunNODC(b *testing.B) { benchOneRun(b, "NODC", 0.8) }
+
+// BenchmarkRunASL measures a run under atomic static locking.
+func BenchmarkRunASL(b *testing.B) { benchOneRun(b, "ASL", 0.6) }
+
+// BenchmarkRunGOW measures a run under the chain-form WTPG scheduler.
+func BenchmarkRunGOW(b *testing.B) { benchOneRun(b, "GOW", 0.6) }
+
+// BenchmarkRunLOW measures a run under the K-conflict WTPG scheduler.
+func BenchmarkRunLOW(b *testing.B) { benchOneRun(b, "LOW", 0.6) }
+
+// BenchmarkRunC2PL measures a run under cautious two-phase locking.
+func BenchmarkRunC2PL(b *testing.B) { benchOneRun(b, "C2PL", 0.3) }
+
+// BenchmarkRunOPT measures a run under optimistic locking (includes
+// restart churn).
+func BenchmarkRunOPT(b *testing.B) { benchOneRun(b, "OPT", 0.2) }

@@ -1,0 +1,139 @@
+// Command batchsim runs one batch-scheduling simulation and prints its
+// metrics.
+//
+// Examples:
+//
+//	batchsim -sched LOW -lambda 0.6 -numfiles 16 -dd 2
+//	batchsim -sched C2PL+M -mpl 8 -lambda 1.2 -duration 2000
+//	batchsim -sched GOW -workload exp1 -sigma 1.0 -json
+//	batchsim -sched ASL -workload exp2 -lambda 1.0 -check
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"batchsched"
+	"batchsched/internal/metrics"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "LOW", "scheduler: NODC, ASL, GOW, LOW, C2PL, C2PL+M, OPT")
+		lambda    = flag.Float64("lambda", 0.6, "arrival rate (transactions per second)")
+		numFiles  = flag.Int("numfiles", 16, "number of files (Experiment 1)")
+		numNodes  = flag.Int("numnodes", 8, "number of data-processing nodes")
+		dd        = flag.Int("dd", 1, "degree of declustering")
+		duration  = flag.Float64("duration", 2000, "simulated span in seconds (paper: 2000)")
+		warmup    = flag.Float64("warmup", 0, "warm-up span excluded from metrics, seconds")
+		seed      = flag.Int64("seed", 1, "random seed")
+		reps      = flag.Int("reps", 1, "independent replications to average")
+		wl        = flag.String("workload", "exp1", "workload: exp1 (blocking) or exp2 (hot set)")
+		sigma     = flag.Float64("sigma", 0, "declared-cost error ratio std deviation (Experiment 3)")
+		mpl       = flag.Int("mpl", 0, "C2PL+M admission limit (0 = unlimited)")
+		k         = flag.Int("k", 2, "LOW conflict bound K")
+		check     = flag.Bool("check", false, "verify conflict-serializability of the run")
+		traceFile = flag.String("trace", "", "write a JSONL execution trace to this file (single rep only)")
+		asJSON    = flag.Bool("json", false, "print the summary as JSON")
+	)
+	flag.Parse()
+
+	cfg := batchsched.DefaultConfig()
+	cfg.ArrivalRate = *lambda
+	cfg.NumFiles = *numFiles
+	cfg.NumNodes = *numNodes
+	cfg.DD = *dd
+	cfg.Duration = batchsched.Time(*duration * float64(batchsched.Second))
+	cfg.Warmup = batchsched.Time(*warmup * float64(batchsched.Second))
+
+	params := batchsched.DefaultParams()
+	params.MPL = *mpl
+	params.K = *k
+
+	var gen batchsched.Generator
+	switch *wl {
+	case "exp1":
+		gen = batchsched.NewExp1Workload(*numFiles)
+	case "exp2":
+		gen = batchsched.NewExp2Workload()
+	default:
+		fmt.Fprintf(os.Stderr, "batchsim: unknown workload %q (want exp1 or exp2)\n", *wl)
+		os.Exit(2)
+	}
+	if *sigma > 0 {
+		gen = batchsched.WithCostError(gen, *sigma)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sum, err := batchsched.RunTraced(cfg, *schedName, params, gen, *seed, f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (completions=%d, tps=%.3f)\n", *traceFile, sum.Completions, sum.TPS)
+		return
+	}
+
+	var (
+		sum batchsched.Summary
+		ci  batchsched.CI
+		err error
+	)
+	if *check {
+		// Serializability verification runs per replication.
+		var sums []batchsched.Summary
+		for r := 0; r < *reps; r++ {
+			one, cerr := batchsched.RunChecked(cfg, *schedName, params, gen, *seed+int64(r))
+			if cerr != nil {
+				fmt.Fprintf(os.Stderr, "batchsim: %v\n", cerr)
+				os.Exit(1)
+			}
+			sums = append(sums, one)
+		}
+		sum, ci = metrics.AverageWithCI(sums)
+	} else {
+		sum, ci, err = batchsched.RunReplicated(cfg, *schedName, params, gen, *seed, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("scheduler        %s\n", *schedName)
+	fmt.Printf("workload         %s (numfiles=%d, dd=%d, sigma=%g)\n", *wl, cfg.NumFiles, cfg.DD, *sigma)
+	fmt.Printf("arrival rate     %.3f TPS over %.0fs x %d rep(s)\n", *lambda, cfg.Duration.Seconds(), *reps)
+	fmt.Printf("completions      %d of %d arrivals\n", sum.Completions, sum.Arrivals)
+	fmt.Printf("throughput       %.3f TPS\n", sum.TPS)
+	if *reps > 1 {
+		fmt.Printf("mean resp. time  %.1f ± %.1f s (95%% CI over %d reps; p50 %.1f, p90 %.1f, max %.1f)\n",
+			sum.MeanRT.Seconds(), ci.MeanRT.Seconds(), *reps,
+			sum.P50RT.Seconds(), sum.P90RT.Seconds(), sum.MaxRT.Seconds())
+	} else {
+		fmt.Printf("mean resp. time  %.1f s (p50 %.1f, p90 %.1f, max %.1f)\n",
+			sum.MeanRT.Seconds(), sum.P50RT.Seconds(), sum.P90RT.Seconds(), sum.MaxRT.Seconds())
+	}
+	fmt.Printf("DPN utilization  %.1f%%   CN utilization %.1f%%\n",
+		100*sum.DPNUtilization, 100*sum.CNUtilization)
+	fmt.Printf("blocks %d  delays %d  admission rejects %d  restarts %d\n",
+		sum.Blocks, sum.Delays, sum.AdmissionRejects, sum.Restarts)
+	if *check {
+		fmt.Println("serializability  OK")
+	}
+}

@@ -1,0 +1,53 @@
+// Declustering example: how intra-transaction parallelism (splitting every
+// file over DD nodes) speeds batches up under different schedulers — the
+// paper's Figure-10 story. ASL/LOW get near-linear response-time speedup
+// from declustering even at heavy load; OPT wastes the parallelism on
+// restarted work.
+//
+//	go run ./examples/declustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batchsched"
+)
+
+func main() {
+	schedulers := []string{"ASL", "LOW", "OPT"}
+	dds := []int{1, 2, 4, 8}
+	gen := batchsched.NewExp1Workload(16)
+
+	base := make(map[string]float64)
+	fmt.Println("Experiment 1 at 1.2 TPS (heavy load), response time by degree of declustering:")
+	fmt.Println()
+	fmt.Printf("  %-4s", "DD")
+	for _, s := range schedulers {
+		fmt.Printf(" %14s", s)
+	}
+	fmt.Println()
+	for _, dd := range dds {
+		fmt.Printf("  %-4d", dd)
+		for _, s := range schedulers {
+			cfg := batchsched.DefaultConfig()
+			cfg.ArrivalRate = 1.2
+			cfg.DD = dd
+			cfg.Duration = 2000 * batchsched.Second
+			sum, err := batchsched.Run(cfg, s, batchsched.DefaultParams(), gen, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rt := sum.MeanRT.Seconds()
+			if dd == 1 {
+				base[s] = rt
+			}
+			fmt.Printf(" %6.0fs (%4.1fx)", rt, base[s]/rt)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("(Nx) is the response-time speedup over DD=1. ASL and LOW scale")
+	fmt.Println("nearly linearly; OPT's speedup stalls because restarts keep the")
+	fmt.Println("nodes saturated with wasted work (paper Fig. 10).")
+}

@@ -1,0 +1,69 @@
+// Mixed-load example: the scenario that motivates the whole paper — an
+// OLTP system running short transactions alongside bulk-update batches.
+// This example runs the mix under three schedulers, uses the JSONL trace
+// API to split response times by transaction class, and shows that the
+// batch scheduler choice decides how badly short transactions suffer
+// behind file-granularity batch locks.
+//
+//	go run ./examples/mixedload
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"batchsched"
+	"batchsched/internal/trace"
+)
+
+func main() {
+	const (
+		numFiles      = 16
+		shortFraction = 0.8  // 4 short transactions per batch
+		shortCost     = 0.01 // ~25 KB record read at 2.5 MB objects
+	)
+	gen := batchsched.NewMixedWorkload(
+		batchsched.NewExp1Workload(numFiles), numFiles, shortFraction, shortCost)
+
+	fmt.Println("Mixed OLTP load: 80% short record reads + 20% bulk-update batches, 2.0 TPS total")
+	fmt.Println()
+	fmt.Printf("  %-6s %16s %16s %10s\n", "sched", "short mean RT", "batch mean RT", "blocks")
+	for _, scheduler := range []string{"LOW", "ASL", "C2PL"} {
+		cfg := batchsched.DefaultConfig()
+		cfg.ArrivalRate = 2.0
+		cfg.Duration = 2000 * batchsched.Second
+
+		var buf bytes.Buffer
+		sum, err := batchsched.RunTraced(cfg, scheduler, batchsched.DefaultParams(), gen, 11, &buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err := trace.Read(&buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var shortRT, batchRT float64
+		var shortN, batchN int
+		for _, e := range events {
+			if e.Kind != "commit" {
+				continue
+			}
+			if e.Cost < 1 { // short transactions cost 0.01 objects
+				shortRT += e.RTms
+				shortN++
+			} else {
+				batchRT += e.RTms
+				batchN++
+			}
+		}
+		fmt.Printf("  %-6s %14.1fs %14.1fs %10d\n",
+			scheduler, shortRT/float64(shortN)/1000, batchRT/float64(batchN)/1000, sum.Blocks)
+	}
+	fmt.Println()
+	fmt.Println("Short transactions pay for every batch lock they queue behind;")
+	fmt.Println("a batch scheduler that avoids chains of blocking (LOW) keeps the")
+	fmt.Println("short-transaction response times an order of magnitude lower than")
+	fmt.Println("C2PL at the same load. (Real systems would also give short")
+	fmt.Println("transactions record-level locks, as the paper notes.)")
+}

@@ -1,0 +1,40 @@
+// Sensitivity example: the WTPG schedulers rely on transactions declaring
+// their I/O demands. This example injects Gaussian estimation error into
+// the declared costs (the paper's Experiment 3) and shows that GOW barely
+// notices while LOW degrades — and that declustering heals LOW.
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+
+	"batchsched"
+)
+
+func main() {
+	sigmas := []float64{0, 1, 10}
+	fmt.Println("Experiment 3: throughput at the RT=70s operating point vs. declared-cost error σ")
+	fmt.Println("(each cell solves for the arrival rate where mean RT = 70s; takes a minute)")
+	fmt.Println()
+	for _, dd := range []int{1, 4} {
+		fmt.Printf("  DD=%d\n", dd)
+		fmt.Printf("    %-6s", "σ")
+		for _, s := range []string{"GOW", "LOW"} {
+			fmt.Printf(" %8s", s)
+		}
+		fmt.Println()
+		for _, sigma := range sigmas {
+			fmt.Printf("    %-6g", sigma)
+			for _, s := range []string{"GOW", "LOW"} {
+				tps := batchsched.ThroughputAt70s(s, 16, dd, "exp1", sigma)
+				fmt.Printf(" %8.2f", tps)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	fmt.Println("GOW's chain-form constraint makes it nearly insensitive to bad")
+	fmt.Println("estimates; LOW loses ~20% at DD=1 and σ=10 but recovers once")
+	fmt.Println("declustering shortens the blocking chains (paper Table 5).")
+}

@@ -1,0 +1,3 @@
+module batchsched
+
+go 1.22

@@ -1,0 +1,47 @@
+package experiments
+
+// Reference values transcribed from the paper, used to print side-by-side
+// comparisons. Figures without printed numbers carry only the values the
+// text calls out.
+
+// PaperTable2 is "Exp.1: Number of Files vs Throughput (TPS) at
+// Resp.Time = 70 sec., DD=1" (paper Table 2).
+var PaperTable2 = map[int]map[string]float64{
+	8:  {"NODC": 1.02, "ASL": 0.45, "GOW": 0.44, "LOW": 0.44, "C2PL": 0.25, "OPT": 0.16},
+	16: {"NODC": 1.04, "ASL": 0.72, "GOW": 0.67, "LOW": 0.65, "C2PL": 0.35, "OPT": 0.24},
+	32: {"NODC": 1.04, "ASL": 0.90, "GOW": 0.86, "LOW": 0.83, "C2PL": 0.50, "OPT": 0.30},
+	64: {"NODC": 1.04, "ASL": 0.96, "GOW": 0.95, "LOW": 0.94, "C2PL": 0.62, "OPT": 0.38},
+}
+
+// PaperTable3 is "Exp.1: Declustering vs Resp.Time (seconds), NumFiles=16,
+// lambda = 1.2 TPS" (paper Table 3; the C2PL column is C2PL+M).
+var PaperTable3 = map[int]map[string]float64{
+	1: {"NODC": 141, "ASL": 387, "GOW": 429, "LOW": 430, "C2PL+M": 669, "OPT": 783},
+	2: {"NODC": 103, "ASL": 183, "GOW": 233, "LOW": 245, "C2PL+M": 479, "OPT": 555},
+	4: {"NODC": 74, "ASL": 83, "GOW": 102, "LOW": 107, "C2PL+M": 250, "OPT": 494},
+	8: {"NODC": 58, "ASL": 48, "GOW": 47, "LOW": 47, "C2PL+M": 50, "OPT": 490},
+}
+
+// PaperTable4Thru and PaperTable4RT are "Exp.2: Throughput (TPS) and
+// Response Time (seconds at lambda = 1.2 tps) at DD=1, 2, 4" (paper
+// Table 4).
+var PaperTable4Thru = map[int]map[string]float64{
+	1: {"NODC": 1.10, "ASL": 0.40, "GOW": 0.57, "LOW": 0.77, "C2PL": 0.70, "OPT": 0.38},
+	2: {"NODC": 1.11, "ASL": 0.70, "GOW": 0.88, "LOW": 1.01, "C2PL": 0.92, "OPT": 0.55},
+	4: {"NODC": 1.13, "ASL": 1.03, "GOW": 1.10, "LOW": 1.12, "C2PL": 1.09, "OPT": 0.85},
+}
+
+// PaperTable4RT mirrors PaperTable4Thru for the response-time half.
+var PaperTable4RT = map[int]map[string]float64{
+	1: {"NODC": 112, "ASL": 611, "GOW": 500, "LOW": 321, "C2PL": 432, "OPT": 751},
+	2: {"NODC": 97, "ASL": 380, "GOW": 252, "LOW": 133, "C2PL": 242, "OPT": 746},
+	4: {"NODC": 87, "ASL": 116, "GOW": 80, "LOW": 57, "C2PL": 118, "OPT": 457},
+}
+
+// PaperTable5 is the sensitivity degradation ratio
+// TPS(sigma=10)/TPS(sigma=0) (paper Table 5), in percent.
+var PaperTable5 = map[int]map[string]float64{
+	1: {"GOW": 94, "LOW": 77},
+	2: {"GOW": 96, "LOW": 84},
+	4: {"GOW": 97.5, "LOW": 93},
+}

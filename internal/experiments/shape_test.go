@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"batchsched/internal/sim"
+)
+
+// These medium-scale regression tests pin the paper's headline qualitative
+// results. They use 600-second windows (vs the paper's 2000) so the whole
+// file runs in a few seconds, but the orderings they assert are stable.
+
+func shapePoint(sched string, lambda float64, dd int, load Workload) Point {
+	return Point{
+		Scheduler: sched, Lambda: lambda, NumFiles: 16, DD: dd, Load: load,
+		Seed: 4, Duration: 600_000 * sim.Millisecond,
+	}
+}
+
+// TestShapeBlockingWorkload asserts observation #1 of Section 5.1: on the
+// blocking workload at a moderate load, the blocking-free schedulers (ASL,
+// GOW, LOW) have far lower response times than C2PL and OPT, and all sit
+// above NODC.
+func TestShapeBlockingWorkload(t *testing.T) {
+	rt := map[string]float64{}
+	for _, s := range []string{"NODC", "ASL", "GOW", "LOW", "C2PL", "OPT"} {
+		rt[s] = Run(shapePoint(s, 0.6, 1, Exp1)).MeanRT.Seconds()
+	}
+	if !(rt["NODC"] < rt["ASL"] && rt["NODC"] < rt["GOW"] && rt["NODC"] < rt["LOW"]) {
+		t.Errorf("NODC must lower-bound the lock-based schedulers: %v", rt)
+	}
+	for _, good := range []string{"ASL", "GOW", "LOW"} {
+		if rt[good]*2 > rt["C2PL"] {
+			t.Errorf("%s (%.1fs) must be far below C2PL (%.1fs) at 0.6 TPS", good, rt[good], rt["C2PL"])
+		}
+		if rt[good] > rt["OPT"] {
+			t.Errorf("%s (%.1fs) must beat OPT (%.1fs)", good, rt[good], rt["OPT"])
+		}
+	}
+}
+
+// TestShapeHotSet asserts the paper's Table-4 ranking at DD=1: LOW beats
+// GOW beats ASL in response time on the hot-set workload, with C2PL between
+// LOW and ASL.
+func TestShapeHotSet(t *testing.T) {
+	rt := map[string]float64{}
+	for _, s := range []string{"ASL", "GOW", "LOW", "C2PL"} {
+		rt[s] = Run(shapePoint(s, 1.0, 1, Exp2)).MeanRT.Seconds()
+	}
+	if !(rt["LOW"] < rt["GOW"] && rt["GOW"] < rt["ASL"]) {
+		t.Errorf("hot-set ranking must be LOW < GOW < ASL: %v", rt)
+	}
+	if rt["LOW"] > rt["C2PL"] {
+		t.Errorf("LOW (%.1fs) must beat C2PL (%.1fs) on the hot set", rt["LOW"], rt["C2PL"])
+	}
+}
+
+// TestShapeDeclusteringSpeedup asserts Fig. 10's core claim: ASL/GOW/LOW
+// gain much more response time from DD=1 -> 4 than OPT does at heavy load.
+func TestShapeDeclusteringSpeedup(t *testing.T) {
+	speedup := func(s string) float64 {
+		rt1 := Run(shapePoint(s, 1.2, 1, Exp1)).MeanRT.Seconds()
+		rt4 := Run(shapePoint(s, 1.2, 4, Exp1)).MeanRT.Seconds()
+		return rt1 / rt4
+	}
+	optGain := speedup("OPT")
+	for _, s := range []string{"ASL", "GOW", "LOW"} {
+		if g := speedup(s); g < optGain || g < 1.2 {
+			t.Errorf("%s speedup %.2f must exceed OPT's %.2f and be material", s, g, optGain)
+		}
+	}
+}
+
+// TestShapeSensitivity asserts Section 5.3: at DD=1 and huge declared-cost
+// error, GOW retains more throughput than LOW, and both still far exceed
+// C2PL (which uses no declarations at all).
+func TestShapeSensitivity(t *testing.T) {
+	tps := func(s string, sigma float64) float64 {
+		p := shapePoint(s, 0.55, 1, Exp1)
+		p.Sigma = sigma
+		return Run(p).TPS
+	}
+	gow0, gow10 := tps("GOW", 0), tps("GOW", 10)
+	low0, low10 := tps("LOW", 0), tps("LOW", 10)
+	if gow10/gow0 < low10/low0-0.02 {
+		t.Errorf("GOW must be less sensitive than LOW: GOW %.2f->%.2f, LOW %.2f->%.2f",
+			gow0, gow10, low0, low10)
+	}
+	c2pl := Run(shapePoint("C2PL", 0.55, 1, Exp1)).TPS
+	if gow10 < c2pl || low10 < c2pl {
+		t.Errorf("even at σ=10 GOW/LOW (%.2f/%.2f TPS) must beat C2PL (%.2f)", gow10, low10, c2pl)
+	}
+}

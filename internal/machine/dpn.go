@@ -1,0 +1,79 @@
+package machine
+
+import (
+	"batchsched/internal/metrics"
+	"batchsched/internal/sim"
+)
+
+// cohort is one partition scan of a step executing at a data-processing
+// node: remaining service demand plus the round-robin quantum (the time to
+// scan 1/DD object).
+type cohort struct {
+	remaining sim.Time
+	quantum   sim.Time
+	done      func()
+}
+
+// dpn is a data-processing node: a single server that interleaves its
+// resident cohorts in round-robin order with a fixed quantum, as in the
+// paper's execution model ("a DPN executes cohorts in a round-robin manner;
+// when DD = k, the unit of the round-robin service is to scan the data of
+// size 1/k object").
+type dpn struct {
+	id   int
+	eng  *sim.Engine
+	met  *metrics.Collector
+	ring []*cohort
+	cur  int
+	busy bool
+}
+
+func newDPN(id int, eng *sim.Engine, met *metrics.Collector) *dpn {
+	return &dpn{id: id, eng: eng, met: met}
+}
+
+// add registers a cohort; service starts immediately if the node was idle.
+// The new cohort joins the rotation behind the current position.
+func (d *dpn) add(c *cohort) {
+	if c.quantum <= 0 {
+		panic("machine: cohort quantum must be positive")
+	}
+	d.ring = append(d.ring, c)
+	if !d.busy {
+		d.busy = true
+		d.serve()
+	}
+}
+
+// queueLen reports the number of resident cohorts.
+func (d *dpn) queueLen() int { return len(d.ring) }
+
+// serve runs one quantum (or the cohort's remainder) for the cohort at the
+// rotation cursor, then advances.
+func (d *dpn) serve() {
+	if len(d.ring) == 0 {
+		d.busy = false
+		return
+	}
+	if d.cur >= len(d.ring) {
+		d.cur = 0
+	}
+	c := d.ring[d.cur]
+	slice := c.quantum
+	if c.remaining < slice {
+		slice = c.remaining
+	}
+	d.eng.Schedule(slice, func(sim.Time) {
+		d.met.DPNBusy(d.id, slice)
+		c.remaining -= slice
+		if c.remaining <= 0 {
+			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
+			if c.done != nil {
+				c.done()
+			}
+		} else {
+			d.cur++
+		}
+		d.serve()
+	})
+}

@@ -1,0 +1,412 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"batchsched/internal/metrics"
+	"batchsched/internal/model"
+	"batchsched/internal/sched"
+	"batchsched/internal/sim"
+)
+
+// Generator produces the declared steps of successive transactions. It is
+// implemented by package workload; the machine calls it once per arrival.
+type Generator interface {
+	Steps(rng *sim.RNG) []model.Step
+}
+
+// Observer receives execution events, for history recording and invariant
+// checks. All methods may be nil-receivers-safe no-ops; see NopObserver.
+type Observer interface {
+	// StepDone fires when a step's cohorts have all completed.
+	StepDone(t *model.Txn, step int, at sim.Time)
+	// Committed fires when a transaction commits.
+	Committed(t *model.Txn, at sim.Time)
+	// Restarted fires when an optimistic validation failure rolls a
+	// transaction back.
+	Restarted(t *model.Txn, at sim.Time)
+}
+
+// txnPhase is the lifecycle position of a transaction inside the machine.
+type txnPhase int
+
+const (
+	phAtCN     txnPhase = iota // a CN job for it is queued or running
+	phAdmit                    // waiting to be admitted
+	phBlocked                  // waiting on a file's lock release
+	phDelayed                  // policy-delayed lock request
+	phRunning                  // cohorts executing at DPNs
+	phFinished                 // committed
+)
+
+// exec is the runtime wrapper around one transaction.
+type exec struct {
+	txn          *model.Txn
+	phase        txnPhase
+	admitCharged bool
+	admitted     bool
+}
+
+// Machine is one Shared-Nothing machine simulation run: engine, control
+// node, DPNs, scheduler and workload wired together. Create with New, then
+// call Run once.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	met   *metrics.Collector
+	sch   sched.Scheduler
+	gen   Generator
+	place Placement
+	cn    *controlNode
+	dpns  []*dpn
+	obs   Observer
+
+	arrivalRNG  *sim.RNG
+	workloadRNG *sim.RNG
+
+	nextID    int64
+	active    int // admitted, uncommitted (machine-level MPL accounting)
+	completed int
+	admitQ    []*exec
+	blocked   map[model.FileID][]*exec
+	delayed   []*exec
+}
+
+// New builds a machine. The scheduler must be fresh (one per run); rng
+// seeds the arrival and workload streams.
+func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("machine: nil scheduler")
+	}
+	eng := sim.NewEngine()
+	met := metrics.NewCollector(cfg.NumNodes, cfg.Warmup)
+	m := &Machine{
+		cfg:         cfg,
+		eng:         eng,
+		met:         met,
+		sch:         s,
+		gen:         gen,
+		place:       Placement{NumNodes: cfg.NumNodes, DD: cfg.DD},
+		cn:          newControlNode(eng, met),
+		arrivalRNG:  rng.Stream("arrivals"),
+		workloadRNG: rng.Stream("workload"),
+		blocked:     make(map[model.FileID][]*exec),
+	}
+	m.dpns = make([]*dpn, cfg.NumNodes)
+	for i := range m.dpns {
+		m.dpns[i] = newDPN(i, eng, met)
+	}
+	if la, ok := s.(sched.LoadAware); ok {
+		la.SetLoadProbe(m.fileLoad)
+	}
+	return m, nil
+}
+
+// fileLoad reports the mean number of resident cohorts across the nodes
+// holding f's partitions — the congestion probe for load-aware schedulers.
+func (m *Machine) fileLoad(f model.FileID) float64 {
+	nodes := m.place.Nodes(f)
+	total := 0
+	for _, n := range nodes {
+		total += m.dpns[n].queueLen()
+	}
+	return float64(total) / float64(len(nodes))
+}
+
+// SetObserver installs an execution observer (history recorder etc.).
+func (m *Machine) SetObserver(o Observer) { m.obs = o }
+
+// Engine exposes the simulation engine (for tests that drive time manually).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Submit injects a transaction at the current virtual time (used by tests
+// and by runs with ArrivalRate == 0). Steps are used as-is.
+func (m *Machine) Submit(steps []model.Step) *model.Txn {
+	m.nextID++
+	t := model.NewTxn(m.nextID, m.eng.Now(), steps)
+	m.arrive(t)
+	return t
+}
+
+// Run executes the configured workload for cfg.Duration and returns the
+// metrics summary.
+func (m *Machine) Run() metrics.Summary {
+	if m.cfg.ArrivalRate > 0 {
+		if m.gen == nil {
+			panic("machine: ArrivalRate > 0 needs a Generator")
+		}
+		m.scheduleNextArrival()
+	}
+	m.eng.RunUntil(m.cfg.Duration)
+	return m.met.Summarize(m.cfg.Duration)
+}
+
+func (m *Machine) scheduleNextArrival() {
+	gap := m.arrivalRNG.ExpTime(m.cfg.ArrivalRate)
+	m.eng.Schedule(gap, func(sim.Time) {
+		steps := m.gen.Steps(m.workloadRNG)
+		m.Submit(steps)
+		m.scheduleNextArrival()
+	})
+}
+
+func (m *Machine) arrive(t *model.Txn) {
+	m.met.Arrival(m.eng.Now())
+	e := &exec{txn: t}
+	m.tryAdmit(e)
+}
+
+// tryAdmit queues an admission attempt on the CN. Failed attempts park the
+// transaction; it is retried after the next commit.
+func (m *Machine) tryAdmit(e *exec) {
+	e.phase = phAtCN
+	m.cn.submit(func() (sim.Time, func()) {
+		if m.cfg.MPL > 0 && m.active >= m.cfg.MPL && !e.admitted {
+			return 0, func() { m.parkAdmit(e) }
+		}
+		ok, cpu := m.sch.Admit(e.txn)
+		if e.admitCharged && !m.cfg.ChargeRetryCPU {
+			// Retried admission tests are batch-evaluated for free (see
+			// DESIGN.md substitution notes); only the first attempt pays.
+			cpu = 0
+		}
+		e.admitCharged = true
+		if !ok {
+			m.met.AdmissionReject()
+			e.txn.AdmissionTries++
+			return cpu, func() { m.parkAdmit(e) }
+		}
+		if !e.admitted {
+			e.admitted = true
+			m.active++
+		}
+		e.txn.Status = model.Active
+		return cpu + m.cfg.SOTTime, func() { m.nextStep(e) }
+	})
+}
+
+func (m *Machine) parkAdmit(e *exec) {
+	e.phase = phAdmit
+	m.admitQ = append(m.admitQ, e)
+}
+
+// nextStep routes the transaction to its next lock request or to commit.
+func (m *Machine) nextStep(e *exec) {
+	if e.txn.Done() {
+		m.commit(e)
+		return
+	}
+	m.requestLock(e)
+}
+
+func (m *Machine) requestLock(e *exec) {
+	e.phase = phAtCN
+	m.cn.submit(func() (sim.Time, func()) {
+		out := m.sch.Request(e.txn)
+		switch out.Decision {
+		case sched.Grant:
+			m.met.Granted()
+			return out.CPU, func() {
+				m.executeStep(e)
+				if !m.cfg.NoWakeOnGrant {
+					m.wakeDelayed() // a grant changes the scheduling state
+				}
+			}
+		case sched.Block:
+			m.met.Block()
+			file := e.txn.CurrentStep().File
+			return out.CPU, func() {
+				e.phase = phBlocked
+				m.blocked[file] = append(m.blocked[file], e)
+			}
+		case sched.Delay:
+			m.met.Delay()
+			return out.CPU, func() {
+				e.phase = phDelayed
+				m.delayed = append(m.delayed, e)
+			}
+		case sched.Abort:
+			// Deadlock victim (strict 2PL): roll back, release, restart.
+			m.met.Restart()
+			e.txn.Restarts++
+			return out.CPU, func() {
+				m.sch.Aborted(e.txn)
+				e.txn.StepIndex = 0
+				if m.obs != nil {
+					m.obs.Restarted(e.txn, m.eng.Now())
+				}
+				m.wakeCommit(e.txn) // its released locks may unblock others
+				m.restartAfterDelay(e)
+			}
+		default:
+			panic(fmt.Sprintf("machine: unexpected request decision %v", out.Decision))
+		}
+	})
+}
+
+// executeStep runs the granted step: the CN sends the transaction to the
+// file's home node (one message), the step runs as DD cohorts of C/DD
+// objects round-robin-interleaved at their nodes, and when the last cohort
+// finishes the transaction returns to the CN (one message).
+func (m *Machine) executeStep(e *exec) {
+	st := e.txn.CurrentStep()
+	m.cn.submit(func() (sim.Time, func()) {
+		return m.cfg.MsgTime, func() {
+			e.phase = phRunning
+			nodes := m.place.Nodes(st.File)
+			service := sim.Time(float64(m.cfg.ObjTime) * st.Cost / float64(m.cfg.DD))
+			quantum := m.cfg.ObjTime / sim.Time(m.cfg.DD)
+			if m.cfg.RunToCompletion {
+				// Ablation: FCFS cohort service — one quantum covers the
+				// whole scan.
+				quantum = service
+				if quantum <= 0 {
+					quantum = 1
+				}
+			}
+			pendingCohorts := len(nodes)
+			for _, n := range nodes {
+				node := m.dpns[n]
+				c := &cohort{remaining: service, quantum: quantum, done: func() {
+					pendingCohorts--
+					if pendingCohorts > 0 {
+						return
+					}
+					// All cohorts returned to the home node; the
+					// transaction flows back to the CN after the network
+					// delay and one receive message.
+					m.eng.Schedule(m.cfg.NetDelay, func(sim.Time) {
+						m.cn.submit(func() (sim.Time, func()) {
+							return m.cfg.MsgTime, func() {
+								m.met.StepExecuted()
+								step := e.txn.StepIndex
+								e.txn.StepIndex++
+								if m.obs != nil {
+									m.obs.StepDone(e.txn, step, m.eng.Now())
+								}
+								m.nextStep(e)
+							}
+						})
+					})
+				}}
+				m.eng.Schedule(m.cfg.NetDelay, func(sim.Time) { node.add(c) })
+			}
+		}
+	})
+}
+
+// commit coordinates two-phase commitment: validation (OPT certification),
+// then commit CPU, release, and a system-wide wake-up.
+func (m *Machine) commit(e *exec) {
+	e.phase = phAtCN
+	m.cn.submit(func() (sim.Time, func()) {
+		ok, vcpu := m.sch.Validate(e.txn)
+		if !ok {
+			m.met.Restart()
+			e.txn.Restarts++
+			return vcpu, func() {
+				m.sch.Aborted(e.txn)
+				e.txn.StepIndex = 0
+				if m.obs != nil {
+					m.obs.Restarted(e.txn, m.eng.Now())
+				}
+				m.restartAfterDelay(e) // re-admission restamps the attempt
+			}
+		}
+		return vcpu + m.cfg.COTTime, func() {
+			m.sch.Committed(e.txn)
+			e.txn.Status = model.Committed
+			e.phase = phFinished
+			m.active--
+			m.completed++
+			now := m.eng.Now()
+			m.met.Completion(now, now-e.txn.Arrival)
+			if m.obs != nil {
+				m.obs.Committed(e.txn, now)
+			}
+			m.wakeCommit(e.txn)
+		}
+	})
+}
+
+// restartAfterDelay re-admits an aborted transaction, after the configured
+// restart delay if one is set.
+func (m *Machine) restartAfterDelay(e *exec) {
+	if m.cfg.RestartDelay <= 0 {
+		m.tryAdmit(e)
+		return
+	}
+	e.phase = phAdmit
+	m.eng.Schedule(m.cfg.RestartDelay, func(sim.Time) { m.tryAdmit(e) })
+}
+
+// wakeCommit reconsiders everything a commit can unblock: requests blocked
+// on the released files, every policy-delayed request, and the pending
+// admissions (in FIFO order).
+func (m *Machine) wakeCommit(t *model.Txn) {
+	need := t.LockNeed()
+	files := make([]model.FileID, 0, len(need))
+	for f := range need {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	for _, f := range files {
+		list := m.blocked[f]
+		if len(list) == 0 {
+			continue
+		}
+		delete(m.blocked, f)
+		for _, e := range list {
+			m.requestLock(e)
+		}
+	}
+	m.wakeDelayed()
+	if len(m.admitQ) > 0 {
+		q := m.admitQ
+		m.admitQ = nil
+		for _, e := range q {
+			m.tryAdmit(e)
+		}
+	}
+}
+
+// wakeDelayed resubmits every policy-delayed request.
+func (m *Machine) wakeDelayed() {
+	if len(m.delayed) == 0 {
+		return
+	}
+	q := m.delayed
+	m.delayed = nil
+	for _, e := range q {
+		m.requestLock(e)
+	}
+}
+
+// InFlight reports how many submitted transactions have not yet committed
+// (including pending admissions).
+func (m *Machine) InFlight() int {
+	return int(m.nextID) - m.completed
+}
+
+// DebugDump prints the waiting structures (debugging aid for stall
+// diagnosis; not part of the public API).
+func (m *Machine) DebugDump() {
+	fmt.Printf("debug: admitQ=%d delayed=%d active=%d\n", len(m.admitQ), len(m.delayed), m.active)
+	for f, list := range m.blocked {
+		ids := make([]int64, len(list))
+		for i, e := range list {
+			ids[i] = e.txn.ID
+		}
+		fmt.Printf("debug: blocked on file %d: %v\n", f, ids)
+	}
+	for i, d := range m.dpns {
+		if d.queueLen() > 0 {
+			fmt.Printf("debug: dpn %d ring=%d\n", i, d.queueLen())
+		}
+	}
+	fmt.Printf("debug: cn queue=%d\n", m.cn.queueLen())
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"batchsched/internal/sim"
+	"batchsched/internal/stats"
+)
+
+// Average combines replication summaries by arithmetic mean (counts are
+// rounded). It panics on an empty slice — averaging nothing is a harness
+// bug.
+func Average(sums []Summary) Summary {
+	if len(sums) == 0 {
+		panic("metrics: Average of no summaries")
+	}
+	if len(sums) == 1 {
+		return sums[0]
+	}
+	n := len(sums)
+	var out Summary
+	out.Window = sums[0].Window
+	var meanRT, p50, p90, maxRT float64
+	for _, s := range sums {
+		out.Arrivals += s.Arrivals
+		out.Completions += s.Completions
+		out.Blocks += s.Blocks
+		out.Delays += s.Delays
+		out.Restarts += s.Restarts
+		out.AdmissionRejects += s.AdmissionRejects
+		out.GrantedRequests += s.GrantedRequests
+		out.StepsExecuted += s.StepsExecuted
+		meanRT += float64(s.MeanRT)
+		p50 += float64(s.P50RT)
+		p90 += float64(s.P90RT)
+		maxRT += float64(s.MaxRT)
+		out.TPS += s.TPS
+		out.CNUtilization += s.CNUtilization
+		out.DPNUtilization += s.DPNUtilization
+	}
+	div := func(v int) int { return (v + n/2) / n }
+	out.Arrivals = div(out.Arrivals)
+	out.Completions = div(out.Completions)
+	out.Blocks = div(out.Blocks)
+	out.Delays = div(out.Delays)
+	out.Restarts = div(out.Restarts)
+	out.AdmissionRejects = div(out.AdmissionRejects)
+	out.GrantedRequests = div(out.GrantedRequests)
+	out.StepsExecuted = div(out.StepsExecuted)
+	fn := float64(n)
+	out.MeanRT = sim.Time(meanRT / fn)
+	out.P50RT = sim.Time(p50 / fn)
+	out.P90RT = sim.Time(p90 / fn)
+	out.MaxRT = sim.Time(maxRT / fn)
+	out.TPS /= fn
+	out.CNUtilization /= fn
+	out.DPNUtilization /= fn
+	return out
+}
+
+// CI is the 95% confidence half-width of the headline metrics across
+// replications.
+type CI struct {
+	// MeanRT is the half-width on the mean response time.
+	MeanRT sim.Time
+	// TPS is the half-width on the throughput.
+	TPS float64
+}
+
+// AverageWithCI combines replication summaries and also returns Student-t
+// 95% confidence half-widths for mean response time and throughput
+// (zero when fewer than two replications).
+func AverageWithCI(sums []Summary) (Summary, CI) {
+	avg := Average(sums)
+	if len(sums) < 2 {
+		return avg, CI{}
+	}
+	var rt, tps stats.Sample
+	for _, s := range sums {
+		rt.Add(float64(s.MeanRT))
+		tps.Add(s.TPS)
+	}
+	return avg, CI{MeanRT: sim.Time(rt.CI95()), TPS: tps.CI95()}
+}

@@ -1,0 +1,176 @@
+// Package metrics collects and summarizes the performance measures the
+// paper reports: mean response time (arrival to completion), throughput in
+// completed transactions per second (TPS), and the counters needed to
+// explain them (blocks, delays, restarts, admission rejections, resource
+// utilization).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"batchsched/internal/sim"
+)
+
+// Collector accumulates raw observations during one simulation run. The
+// zero value is not usable; call NewCollector.
+type Collector struct {
+	warmup sim.Time
+
+	arrivals    int
+	completions int
+	rts         []sim.Time
+
+	blocks           int
+	delays           int
+	restarts         int
+	admissionRejects int
+
+	cnBusy  sim.Time
+	dpnBusy []sim.Time
+
+	grantedRequests int
+	stepsExecuted   int
+}
+
+// NewCollector returns a collector for a machine with numNodes
+// data-processing nodes. Completions before warmup are not counted
+// (warmup 0 reproduces the paper, which measures the whole window).
+func NewCollector(numNodes int, warmup sim.Time) *Collector {
+	return &Collector{warmup: warmup, dpnBusy: make([]sim.Time, numNodes)}
+}
+
+// Arrival records a transaction arriving at the control node.
+func (c *Collector) Arrival(now sim.Time) {
+	if now >= c.warmup {
+		c.arrivals++
+	}
+}
+
+// Completion records a transaction completing with the given response time.
+func (c *Collector) Completion(now, rt sim.Time) {
+	if now < c.warmup {
+		return
+	}
+	c.completions++
+	c.rts = append(c.rts, rt)
+}
+
+// Block, Delay, Restart and AdmissionReject count scheduler decisions.
+func (c *Collector) Block()           { c.blocks++ }
+func (c *Collector) Delay()           { c.delays++ }
+func (c *Collector) Restart()         { c.restarts++ }
+func (c *Collector) AdmissionReject() { c.admissionRejects++ }
+
+// Granted counts granted lock requests; StepExecuted counts finished steps.
+func (c *Collector) Granted()      { c.grantedRequests++ }
+func (c *Collector) StepExecuted() { c.stepsExecuted++ }
+
+// CNBusy accumulates control-node CPU busy time.
+func (c *Collector) CNBusy(d sim.Time) { c.cnBusy += d }
+
+// DPNBusy accumulates busy time for one data-processing node.
+func (c *Collector) DPNBusy(node int, d sim.Time) { c.dpnBusy[node] += d }
+
+// Summary is the digested result of one run.
+type Summary struct {
+	// Window is the measured span (run duration minus warmup).
+	Window sim.Time
+	// Arrivals and Completions are transaction counts inside the window.
+	Arrivals    int
+	Completions int
+	// MeanRT is the mean response time of completed transactions.
+	MeanRT sim.Time
+	// P50RT, P90RT and MaxRT are response-time percentiles.
+	P50RT, P90RT, MaxRT sim.Time
+	// TPS is Completions divided by the window in seconds.
+	TPS float64
+	// Blocks, Delays, Restarts and AdmissionRejects count scheduler events
+	// over the whole run.
+	Blocks, Delays, Restarts, AdmissionRejects int
+	// GrantedRequests and StepsExecuted count execution progress.
+	GrantedRequests, StepsExecuted int
+	// CNUtilization is control-node CPU busy fraction.
+	CNUtilization float64
+	// DPNUtilization is the mean data-processing-node busy fraction.
+	DPNUtilization float64
+	// PerDPNUtilization is each node's busy fraction.
+	PerDPNUtilization []float64
+}
+
+// Summarize digests the collector at the end of a run of the given total
+// duration.
+func (c *Collector) Summarize(duration sim.Time) Summary {
+	window := duration - c.warmup
+	s := Summary{
+		Window:           window,
+		Arrivals:         c.arrivals,
+		Completions:      c.completions,
+		Blocks:           c.blocks,
+		Delays:           c.delays,
+		Restarts:         c.restarts,
+		AdmissionRejects: c.admissionRejects,
+		GrantedRequests:  c.grantedRequests,
+		StepsExecuted:    c.stepsExecuted,
+	}
+	if window <= 0 {
+		return s
+	}
+	if len(c.rts) > 0 {
+		sorted := append([]sim.Time(nil), c.rts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum sim.Time
+		for _, rt := range sorted {
+			sum += rt
+		}
+		s.MeanRT = sum / sim.Time(len(sorted))
+		s.P50RT = percentile(sorted, 0.50)
+		s.P90RT = percentile(sorted, 0.90)
+		s.MaxRT = sorted[len(sorted)-1]
+	}
+	s.TPS = float64(c.completions) / window.Seconds()
+	s.CNUtilization = frac(c.cnBusy, duration)
+	s.PerDPNUtilization = make([]float64, len(c.dpnBusy))
+	total := 0.0
+	for i, b := range c.dpnBusy {
+		s.PerDPNUtilization[i] = frac(b, duration)
+		total += s.PerDPNUtilization[i]
+	}
+	if len(c.dpnBusy) > 0 {
+		s.DPNUtilization = total / float64(len(c.dpnBusy))
+	}
+	return s
+}
+
+func percentile(sorted []sim.Time, p float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func frac(busy, total sim.Time) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(total)
+}
+
+// String renders the headline numbers on one line.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completions=%d tps=%.3f meanRT=%.1fs dpnUtil=%.0f%% cnUtil=%.0f%%",
+		s.Completions, s.TPS, s.MeanRT.Seconds(), 100*s.DPNUtilization, 100*s.CNUtilization)
+	if s.Restarts > 0 {
+		fmt.Fprintf(&b, " restarts=%d", s.Restarts)
+	}
+	return b.String()
+}

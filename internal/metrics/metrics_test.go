@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"batchsched/internal/sim"
+)
+
+func TestCollectorSummarize(t *testing.T) {
+	c := NewCollector(2, 0)
+	c.Arrival(0)
+	c.Arrival(sim.Second)
+	c.Completion(10*sim.Second, 4*sim.Second)
+	c.Completion(20*sim.Second, 8*sim.Second)
+	c.Block()
+	c.Delay()
+	c.Delay()
+	c.Restart()
+	c.AdmissionReject()
+	c.Granted()
+	c.StepExecuted()
+	c.CNBusy(5 * sim.Second)
+	c.DPNBusy(0, 50*sim.Second)
+	c.DPNBusy(1, 100*sim.Second)
+
+	s := c.Summarize(100 * sim.Second)
+	if s.Arrivals != 2 || s.Completions != 2 {
+		t.Errorf("arrivals=%d completions=%d", s.Arrivals, s.Completions)
+	}
+	if s.MeanRT != 6*sim.Second {
+		t.Errorf("meanRT = %v, want 6s", s.MeanRT)
+	}
+	if s.P50RT != 4*sim.Second || s.MaxRT != 8*sim.Second {
+		t.Errorf("p50=%v max=%v", s.P50RT, s.MaxRT)
+	}
+	if s.TPS != 0.02 {
+		t.Errorf("TPS = %v, want 0.02", s.TPS)
+	}
+	if s.Blocks != 1 || s.Delays != 2 || s.Restarts != 1 || s.AdmissionRejects != 1 {
+		t.Error("counter mismatch")
+	}
+	if s.CNUtilization != 0.05 {
+		t.Errorf("CN util = %v, want 0.05", s.CNUtilization)
+	}
+	if s.PerDPNUtilization[0] != 0.5 || s.PerDPNUtilization[1] != 1.0 {
+		t.Errorf("per-DPN util = %v", s.PerDPNUtilization)
+	}
+	if s.DPNUtilization != 0.75 {
+		t.Errorf("mean DPN util = %v, want 0.75", s.DPNUtilization)
+	}
+	if !strings.Contains(s.String(), "restarts=1") {
+		t.Errorf("String() = %q, want restart note", s.String())
+	}
+}
+
+func TestWarmupExcludesEarlyCompletions(t *testing.T) {
+	c := NewCollector(1, 10*sim.Second)
+	c.Arrival(5 * sim.Second) // before warmup
+	c.Completion(9*sim.Second, sim.Second)
+	c.Arrival(15 * sim.Second)
+	c.Completion(20*sim.Second, 2*sim.Second)
+	s := c.Summarize(30 * sim.Second)
+	if s.Arrivals != 1 || s.Completions != 1 {
+		t.Errorf("arrivals=%d completions=%d, want 1 and 1", s.Arrivals, s.Completions)
+	}
+	if s.Window != 20*sim.Second {
+		t.Errorf("window = %v, want 20s", s.Window)
+	}
+	if s.MeanRT != 2*sim.Second {
+		t.Errorf("meanRT = %v, want 2s", s.MeanRT)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	c := NewCollector(1, 0)
+	s := c.Summarize(10 * sim.Second)
+	if s.MeanRT != 0 || s.TPS != 0 || s.Completions != 0 {
+		t.Error("empty run must summarize to zeros")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var sorted []sim.Time
+	for i := 1; i <= 100; i++ {
+		sorted = append(sorted, sim.Time(i))
+	}
+	if got := percentile(sorted, 0.5); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(sorted, 0.9); got != 90 {
+		t.Errorf("p90 = %v", got)
+	}
+	if got := percentile(sorted[:1], 0.5); got != 1 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := Summary{Window: 10 * sim.Second, Completions: 10, MeanRT: 4 * sim.Second, TPS: 1.0, Blocks: 2}
+	b := Summary{Window: 10 * sim.Second, Completions: 20, MeanRT: 8 * sim.Second, TPS: 2.0, Blocks: 3}
+	avg := Average([]Summary{a, b})
+	if avg.Completions != 15 || avg.MeanRT != 6*sim.Second || avg.TPS != 1.5 {
+		t.Errorf("avg = %+v", avg)
+	}
+	if avg.Blocks != 3 { // (2+3+1)/2 rounded
+		t.Errorf("blocks = %d, want 3 (rounded mean)", avg.Blocks)
+	}
+	if one := Average([]Summary{a}); one.MeanRT != a.MeanRT || one.TPS != a.TPS || one.Completions != a.Completions {
+		t.Error("single-summary average must be identity")
+	}
+}
+
+func TestAveragePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Average(nil)
+}
+
+func TestAverageWithCI(t *testing.T) {
+	a := Summary{MeanRT: 4 * sim.Second, TPS: 1.0}
+	b := Summary{MeanRT: 8 * sim.Second, TPS: 2.0}
+	avg, ci := AverageWithCI([]Summary{a, b})
+	if avg.MeanRT != 6*sim.Second {
+		t.Errorf("avg = %v", avg.MeanRT)
+	}
+	if ci.MeanRT <= 0 || ci.TPS <= 0 {
+		t.Errorf("CI = %+v, want positive half-widths", ci)
+	}
+	// n=2, sd(RT)=2.828s: CI = 12.706*2.828/1.414 = 25.4s.
+	if got := ci.MeanRT.Seconds(); got < 25 || got > 26 {
+		t.Errorf("RT CI = %vs, want ~25.4", got)
+	}
+	_, none := AverageWithCI([]Summary{a})
+	if none.MeanRT != 0 || none.TPS != 0 {
+		t.Error("single rep must have zero CI")
+	}
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the sample coordinates (equal length).
+	X, Y []float64
+}
+
+// Chart is an ASCII line plot of one or more series, for terminal-friendly
+// rendering of the paper's figures.
+type Chart struct {
+	// Title heads the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Width and Height are the plot-area size in characters (defaults
+	// 60x20 when zero).
+	Width, Height int
+	// Series are the curves; each gets a marker from Markers in order.
+	Series []Series
+	// YMax optionally clips the y axis (0 = auto).
+	YMax float64
+}
+
+// Markers are the per-series plot characters, in assignment order.
+var Markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if c.YMax > 0 && maxY > c.YMax {
+		maxY = c.YMax
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		fmt.Fprintln(w, c.Title)
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, marker byte) {
+		if y > maxY {
+			y = maxY
+		}
+		col := int((x - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		grid[row][col] = marker
+	}
+	for si, s := range c.Series {
+		marker := Markers[si%len(Markers)]
+		// Linear interpolation between samples for a continuous look.
+		for i := 1; i < len(s.X); i++ {
+			steps := width / max(1, len(s.X)-1)
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(max(1, steps))
+				plot(s.X[i-1]+f*(s.X[i]-s.X[i-1]), s.Y[i-1]+f*(s.Y[i]-s.Y[i-1]), marker)
+			}
+		}
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], marker)
+		}
+	}
+	fmt.Fprintln(w, c.Title)
+	yTop := fmt.Sprintf("%.4g", maxY)
+	yBot := fmt.Sprintf("%.4g", minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		case height / 2:
+			if c.YLabel != "" {
+				lbl := c.YLabel
+				if len(lbl) > pad {
+					lbl = lbl[:pad]
+				}
+				label = fmt.Sprintf("%*s", pad, lbl)
+			}
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*.4g%*.4g  (%s)\n", strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX, c.XLabel)
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", Markers[si%len(Markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", pad), strings.Join(legend, "  "))
+}
+
+// String renders to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

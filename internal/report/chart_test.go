@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "Fig X",
+		XLabel: "lambda",
+		YLabel: "RT",
+		Width:  40,
+		Height: 10,
+		Series: []Series{
+			{Name: "ASL", X: []float64{0, 1, 2}, Y: []float64{1, 2, 4}},
+			{Name: "C2PL", X: []float64{0, 1, 2}, Y: []float64{1, 5, 9}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "Fig X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=ASL") || !strings.Contains(out, "o=C2PL") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "lambda") {
+		t.Error("missing x label")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing plotted points")
+	}
+	lines := strings.Split(out, "\n")
+	// plot area height + title + axis + xlabels + legend
+	if len(lines) < 13 {
+		t.Errorf("unexpectedly short render (%d lines):\n%s", len(lines), out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.String()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart rendering:\n%s", out)
+	}
+}
+
+func TestChartYMaxClips(t *testing.T) {
+	c := &Chart{
+		Width: 20, Height: 5, YMax: 10,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{1, 1000}}},
+	}
+	out := c.String()
+	if !strings.Contains(out, "10 |") {
+		t.Errorf("y axis should clip at 10:\n%s", out)
+	}
+}
+
+func TestChartSingularX(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "s", X: []float64{1, 1}, Y: []float64{1, 2}}}}
+	if !strings.Contains(c.String(), "(no data)") {
+		t.Error("degenerate x range should render as no data")
+	}
+}
+
+func TestTableChart(t *testing.T) {
+	tbl := &Table{
+		Title:  "Fig demo",
+		Header: []string{"λ", "ASL", "C2PL"},
+	}
+	tbl.AddRow("0.2", "9.3 (9.0)", "9.3")
+	tbl.AddRow("0.6", "41.1", "379.3")
+	tbl.AddRow("1.0", "249.2", "419.4")
+	c := tbl.Chart("λ (TPS)", "RT", 0)
+	if c == nil {
+		t.Fatal("chart is nil")
+	}
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(c.Series))
+	}
+	if c.Series[0].Y[0] != 9.3 {
+		t.Errorf("paren cell parsed wrong: %v", c.Series[0].Y[0])
+	}
+	out := c.String()
+	if !strings.Contains(out, "*=ASL") {
+		t.Errorf("chart legend:\n%s", out)
+	}
+
+	// Non-numeric x column -> nil chart.
+	bad := &Table{Header: []string{"scheduler", "DD=1"}}
+	bad.AddRow("GOW", "97%")
+	if bad.Chart("x", "y", 0) != nil {
+		t.Error("non-numeric x must give nil chart")
+	}
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "Table X",
+		Note:   "units: TPS",
+		Header: []string{"dd", "ASL", "LOW"},
+	}
+	tbl.AddRow("1", "0.45", "0.44")
+	tbl.AddRow("2", "0.90", "0.83")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want 6:\n%s", len(lines), out)
+	}
+	if lines[0] != "Table X" || lines[1] != "units: TPS" {
+		t.Errorf("title/note wrong: %q %q", lines[0], lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "dd") {
+		t.Errorf("header line = %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "0.45") || !strings.Contains(lines[5], "0.83") {
+		t.Errorf("data rows wrong:\n%s", out)
+	}
+	// Columns aligned: "ASL" column starts at the same offset in all rows.
+	idx := strings.Index(lines[2], "ASL")
+	if !strings.HasPrefix(lines[4][idx:], "0.45") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestRenderWideCells(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "b"}}
+	tbl.AddRow("averyverylongcell", "x")
+	out := tbl.String()
+	if !strings.Contains(out, "averyverylongcell") {
+		t.Error("cell truncated")
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.234, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.234, 2))
+	}
+	if F(3, 0) != "3" {
+		t.Errorf("F = %q", F(3, 0))
+	}
+	if F(math.NaN(), 2) != "-" {
+		t.Errorf("NaN must render as dash, got %q", F(math.NaN(), 2))
+	}
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Chart converts a numeric table into an ASCII chart: column 0 supplies the
+// x coordinates and every remaining column becomes a series named by its
+// header. Cells of the form "123 (456)" contribute their leading number
+// (the measured value); rows or columns without parsable numbers are
+// skipped. Returns nil when fewer than two x values parse.
+func (t *Table) Chart(xLabel, yLabel string, yMax float64) *Chart {
+	if len(t.Header) < 2 {
+		return nil
+	}
+	var xs []float64
+	var rows [][]float64 // per kept row: parsed cells (NaN when unparsable)
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(row[0]), 64)
+		if err != nil {
+			continue
+		}
+		vals := make([]float64, len(t.Header)-1)
+		for i := range vals {
+			vals[i] = parseLeadingFloat(cellAt(row, i+1))
+		}
+		xs = append(xs, x)
+		rows = append(rows, vals)
+	}
+	if len(xs) < 2 {
+		return nil
+	}
+	c := &Chart{Title: t.Title, XLabel: xLabel, YLabel: yLabel, YMax: yMax}
+	for col := 1; col < len(t.Header); col++ {
+		var sx, sy []float64
+		for r := range xs {
+			v := rows[r][col-1]
+			if v == v { // not NaN
+				sx = append(sx, xs[r])
+				sy = append(sy, v)
+			}
+		}
+		if len(sx) >= 2 {
+			c.Series = append(c.Series, Series{Name: t.Header[col], X: sx, Y: sy})
+		}
+	}
+	if len(c.Series) == 0 {
+		return nil
+	}
+	return c
+}
+
+func cellAt(row []string, i int) string {
+	if i < len(row) {
+		return row[i]
+	}
+	return ""
+}
+
+// parseLeadingFloat parses the leading numeric token of a cell like
+// "0.44 (0.45)" or "97.0%"; NaN when none.
+func parseLeadingFloat(cell string) float64 {
+	cell = strings.TrimSpace(cell)
+	end := 0
+	for end < len(cell) {
+		ch := cell[end]
+		if (ch >= '0' && ch <= '9') || ch == '.' || ch == '-' || ch == '+' ||
+			ch == 'e' || ch == 'E' {
+			end++
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseFloat(cell[:end], 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"batchsched/internal/lock"
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+)
+
+// c2pl is Cautious Two-Phase Locking (Nishio et al.): strict 2PL that
+// predicts deadlock from the transactions' declared access lists and grants
+// a lock request q iff q is not blocked by a current holder and granting it
+// cannot lead to a deadlock; a request that would deadlock is delayed
+// instead. It therefore has neither deadlocks nor rollbacks, but it does
+// suffer chains of blocking. With mpl > 0 it becomes C2PL+M, the paper's
+// variant that caps the number of running transactions.
+//
+// The deadlock prediction is a cycle test on the needs-versus-holdings
+// digraph: an edge u -> v when u declares a not-yet-satisfied need on a
+// file v currently holds in an incompatible mode. Because access lists are
+// declared up front and holdings only grow until commit, refusing any grant
+// that would close a cycle through the grantee makes deadlock impossible
+// (every hold-and-wait cycle would contain a final grant that completed it,
+// and that grant is refused). This is the "(unweighted) WTPG" deadlock
+// predictor of the paper with the cost ddtime per test.
+type c2pl struct {
+	p      Params
+	mpl    int
+	locks  *lock.Table
+	active map[int64]*model.Txn
+	name   string
+}
+
+// NewC2PL returns a cautious two-phase locking scheduler with an unlimited
+// multiprogramming level.
+func NewC2PL(p Params) Scheduler {
+	return &c2pl{p: p, locks: lock.NewTable(), active: make(map[int64]*model.Txn), name: "C2PL"}
+}
+
+// NewC2PLM returns C2PL+M: cautious two-phase locking that admits at most
+// mpl concurrent transactions (mpl <= 0 means unlimited).
+func NewC2PLM(p Params, mpl int) Scheduler {
+	return &c2pl{p: p, mpl: mpl, locks: lock.NewTable(), active: make(map[int64]*model.Txn), name: "C2PL+M"}
+}
+
+func (s *c2pl) Name() string { return s.name }
+
+func (s *c2pl) Admit(t *model.Txn) (bool, sim.Time) {
+	if s.mpl > 0 && len(s.active) >= s.mpl {
+		return false, 0
+	}
+	s.active[t.ID] = t
+	return true, 0
+}
+
+func (s *c2pl) Request(t *model.Txn) Outcome {
+	if holdsSufficient(s.locks, t) {
+		return Outcome{Decision: Grant}
+	}
+	st := t.CurrentStep()
+	if !s.locks.CanGrant(t.ID, st.File, st.LockMode) {
+		return Outcome{Decision: Block}
+	}
+	cpu := s.p.DDTime
+	if s.wouldDeadlock(t, st.File, st.LockMode) {
+		return Outcome{Decision: Delay, CPU: cpu}
+	}
+	s.locks.Grant(t.ID, st.File, st.LockMode)
+	return Outcome{Decision: Grant, CPU: cpu}
+}
+
+// wouldDeadlock reports whether granting t mode m on file f closes a cycle
+// in the needs-versus-holdings digraph. Any new cycle must pass through t
+// (the grant only adds a holding of t), so a DFS from t back to t suffices.
+func (s *c2pl) wouldDeadlock(t *model.Txn, f model.FileID, m model.Mode) bool {
+	// heldHypo reports the mode x would hold on file g after the grant.
+	heldHypo := func(x int64, g model.FileID) (model.Mode, bool) {
+		if x == t.ID && g == f {
+			if cur, ok := s.locks.Holds(x, g); ok && cur == model.X {
+				return model.X, true
+			}
+			return m, true
+		}
+		return s.locks.Holds(x, g)
+	}
+	// successors: u -> every incompatible holder of a file u still needs.
+	successors := func(u *model.Txn) []int64 {
+		var out []int64
+		for g, need := range u.LockNeed() {
+			if cur, ok := heldHypo(u.ID, g); ok && (cur == model.X || need == model.S) {
+				continue // already satisfied
+			}
+			if u.ID != t.ID && g == f {
+				// t is about to hold f; u's incompatible need waits on t.
+				if !m.Compatible(need) {
+					out = append(out, t.ID)
+				}
+			}
+			for _, h := range s.locks.Holders(g) {
+				if h == u.ID {
+					continue
+				}
+				hm, _ := heldHypo(h, g)
+				if !hm.Compatible(need) {
+					out = append(out, h)
+				}
+			}
+		}
+		return out
+	}
+	// DFS from t looking for a path back to t.
+	visited := make(map[int64]bool)
+	stack := successors(t)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == t.ID {
+			return true
+		}
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		u, ok := s.active[v]
+		if !ok {
+			continue
+		}
+		stack = append(stack, successors(u)...)
+	}
+	return false
+}
+
+func (s *c2pl) Validate(*model.Txn) (bool, sim.Time) { return true, 0 }
+
+func (s *c2pl) Committed(t *model.Txn) {
+	delete(s.active, t.ID)
+	s.locks.ReleaseAll(t.ID)
+}
+
+func (s *c2pl) Aborted(*model.Txn) { panic("sched: C2PL never aborts") }
+
+// Locks exposes the lock table for invariant checks in tests.
+func (s *c2pl) Locks() *lock.Table { return s.locks }
+
+// Active returns the number of admitted, uncommitted transactions.
+func (s *c2pl) Active() int { return len(s.active) }

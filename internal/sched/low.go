@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"math"
+
+	"batchsched/internal/lock"
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+	"batchsched/internal/wtpg"
+)
+
+// low is the Locally-Optimized WTPG scheduler (paper Figs. 5 and 7;
+// "K-conflict WTPG" in the authors' earlier work). Instead of GOW's global
+// chain-form constraint it bounds each access's conflicting-declaration set
+// to K and grants a lock request q only when its contention estimate E(q) is
+// no worse than the estimate E(p) of every conflicting declaration p — a
+// local, present-state optimization that admits more transactions when
+// batches update a hot set.
+type low struct {
+	p     Params
+	locks *lock.Table
+	graph *wtpg.Graph
+	w0    wtpg.T0Weight
+	name  string
+}
+
+// NewLOW returns a Locally-Optimized WTPG scheduler with conflict bound p.K.
+func NewLOW(p Params) Scheduler {
+	if p.K < 0 {
+		p.K = 0
+	}
+	return &low{p: p, locks: lock.NewTable(), graph: wtpg.New(),
+		w0: wtpg.RemainingDemand, name: "LOW"}
+}
+
+// NewLOWLB returns the load-balancing extension of LOW the paper's
+// conclusion names as further work ("improve these new schedulers for
+// resource-level load-balancing"): the T0 weights of the WTPG scale each
+// remaining step's declared demand by the current congestion of the nodes
+// that will execute it, so E(q) estimates remaining *time* rather than
+// remaining demand and grants steer work toward idle nodes. The machine
+// injects the congestion probe via SetLoadProbe.
+func NewLOWLB(p Params) Scheduler {
+	if p.K < 0 {
+		p.K = 0
+	}
+	s := &low{p: p, locks: lock.NewTable(), graph: wtpg.New(), name: "LOW-LB"}
+	s.w0 = wtpg.RemainingDemand // until a probe is injected
+	return s
+}
+
+// LoadAware is implemented by schedulers that consume resource-level load
+// information; the machine injects a probe returning the mean number of
+// resident cohorts on the nodes holding a file's partitions.
+type LoadAware interface {
+	SetLoadProbe(func(f model.FileID) float64)
+}
+
+// SetLoadProbe implements LoadAware for the LOW-LB variant (a no-op for
+// plain LOW).
+func (s *low) SetLoadProbe(probe func(f model.FileID) float64) {
+	if s.name != "LOW-LB" || probe == nil {
+		return
+	}
+	s.w0 = func(t *model.Txn) float64 {
+		var sum float64
+		for i := t.StepIndex; i < len(t.Steps); i++ {
+			st := t.Steps[i]
+			sum += st.DeclaredCost * (1 + probe(st.File))
+		}
+		return sum
+	}
+}
+
+func (s *low) Name() string { return s.name }
+
+// Admit starts t only when doing so keeps every conflicting-declaration set
+// within the bound K: for each file t declares, both t's own conflict set
+// on that file and the conflict sets of the transactions it joins must stay
+// at size <= K.
+func (s *low) Admit(t *model.Txn) (bool, sim.Time) {
+	need := t.LockNeed()
+	for f, m := range need {
+		cs := conflictersOn(s.graph, t, f, m)
+		if len(cs) > s.p.K {
+			return false, 0
+		}
+		for _, u := range cs {
+			um := u.LockNeed()[f]
+			// u's conflict set on f after t joins: current conflicters of
+			// u's access plus t itself.
+			if len(conflictersOn(s.graph, u, f, um))+1 > s.p.K {
+				return false, 0
+			}
+		}
+	}
+	s.graph.Add(t)
+	seedHolderOrder(s.graph, s.locks, t)
+	return true, 0
+}
+
+func (s *low) Request(t *model.Txn) Outcome {
+	if holdsSufficient(s.locks, t) {
+		return Outcome{Decision: Grant}
+	}
+	st := t.CurrentStep()
+	// Phase 1: blocked by a current holder.
+	if !s.locks.CanGrant(t.ID, st.File, st.LockMode) {
+		return Outcome{Decision: Block}
+	}
+	// Phase 2: E(q); a deadlock evaluates to +Inf and q is delayed.
+	cpu := s.p.KWTPGTime
+	eq := wtpg.Evaluate(s.graph, t, st.File, st.LockMode, s.w0)
+	if math.IsInf(eq, 1) {
+		return Outcome{Decision: Delay, CPU: cpu}
+	}
+	// Phase 3: q wins only if E(q) <= E(p) for every conflicting
+	// declaration p in C(q). Each E(p) costs another kwtpgtime.
+	for _, u := range conflictersOn(s.graph, t, st.File, st.LockMode) {
+		cpu += s.p.KWTPGTime
+		ep := wtpg.Evaluate(s.graph, u, st.File, u.LockNeed()[st.File], s.w0)
+		if eq > ep {
+			return Outcome{Decision: Delay, CPU: cpu}
+		}
+	}
+	// Phase 4: grant and fix the newly determined precedence edges.
+	if err := s.graph.Grant(t, st.File, st.LockMode); err != nil {
+		return Outcome{Decision: Delay, CPU: cpu}
+	}
+	s.locks.Grant(t.ID, st.File, st.LockMode)
+	return Outcome{Decision: Grant, CPU: cpu}
+}
+
+func (s *low) Validate(*model.Txn) (bool, sim.Time) { return true, 0 }
+
+func (s *low) Committed(t *model.Txn) {
+	s.graph.Remove(t.ID)
+	s.locks.ReleaseAll(t.ID)
+}
+
+func (s *low) Aborted(*model.Txn) { panic("sched: LOW never aborts") }
+
+// Locks exposes the lock table for invariant checks in tests.
+func (s *low) Locks() *lock.Table { return s.locks }
+
+// Graph exposes the WTPG for invariant checks in tests.
+func (s *low) Graph() *wtpg.Graph { return s.graph }

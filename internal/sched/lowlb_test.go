@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"testing"
+
+	"batchsched/internal/model"
+)
+
+func TestLOWLBUsesLoadProbe(t *testing.T) {
+	s := NewLOWLB(DefaultParams()).(*low)
+	if s.Name() != "LOW-LB" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	// Inject a probe that makes file 1 heavily congested.
+	s.SetLoadProbe(func(f model.FileID) float64 {
+		if f == 1 {
+			return 9
+		}
+		return 0
+	})
+	files := map[string]model.FileID{"a": 0, "b": 1}
+	tx := mkTxn(1, "w(a:1)->w(b:1)", files)
+	// T0 weight = 1*(1+0) + 1*(1+9) = 11 under the probe.
+	if got := s.w0(tx); got != 11 {
+		t.Errorf("load-aware w0 = %g, want 11", got)
+	}
+	tx.StepIndex = 1
+	if got := s.w0(tx); got != 10 {
+		t.Errorf("load-aware w0 after step 1 = %g, want 10", got)
+	}
+}
+
+func TestPlainLOWIgnoresProbe(t *testing.T) {
+	s := NewLOW(DefaultParams()).(*low)
+	s.SetLoadProbe(func(model.FileID) float64 { return 100 })
+	files := map[string]model.FileID{"a": 0}
+	tx := mkTxn(1, "w(a:2)", files)
+	if got := s.w0(tx); got != 2 {
+		t.Errorf("plain LOW w0 = %g, want plain remaining demand 2", got)
+	}
+}
+
+func TestLOWLBWithoutProbeBehavesLikeLOW(t *testing.T) {
+	s := NewLOWLB(DefaultParams())
+	files := map[string]model.FileID{"a": 0}
+	a := mkTxn(1, "w(a:1)", files)
+	b := mkTxn(2, "w(a:1)", files)
+	mustAdmit(t, s, a)
+	mustAdmit(t, s, b)
+	if out := s.Request(a); out.Decision != Grant {
+		t.Fatalf("a = %v", out.Decision)
+	}
+	if out := s.Request(b); out.Decision != Block {
+		t.Fatalf("b = %v, want block", out.Decision)
+	}
+	a.StepIndex = 1
+	s.Committed(a)
+	if out := s.Request(b); out.Decision != Grant {
+		t.Fatalf("b after commit = %v", out.Decision)
+	}
+	// Nil probe injection is a safe no-op.
+	s.(*low).SetLoadProbe(nil)
+}
+
+func TestGOWGreedyParam(t *testing.T) {
+	p := DefaultParams()
+	p.GOWGreedy = true
+	s := NewGOW(p)
+	files := map[string]model.FileID{"u": 0, "v": 1}
+	t1 := mkTxn(1, "w(u:5)", files)
+	t2 := mkTxn(2, "w(u:1)->w(v:1)", files)
+	mustAdmit(t, s, t1)
+	mustAdmit(t, s, t2)
+	// Greedy GOW grants T2's non-contradictory request immediately even
+	// though the optimized W would delay it (contrast with
+	// TestGOWFig3Consistency).
+	out := s.Request(t2)
+	if out.Decision != Grant {
+		t.Fatalf("greedy GOW = %v, want grant", out.Decision)
+	}
+	if out.CPU != p.DDTime {
+		t.Errorf("greedy CPU = %v, want ddtime (no chain optimization)", out.CPU)
+	}
+	// t1's request against the held lock blocks at Phase 1 as usual.
+	if out := s.Request(t1); out.Decision != Block {
+		t.Fatalf("t1 against t2's grant = %v, want block", out.Decision)
+	}
+}

@@ -1,0 +1,27 @@
+package sched
+
+import (
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+)
+
+// nodc is the NO-Data-Contention pseudo-scheduler: it grants every lock at
+// any time, so its performance is the resource-bound upper limit against
+// which the real schedulers are compared. Histories it produces are not
+// serializable — that is the point.
+type nodc struct{}
+
+// NewNODC returns the NODC pseudo-scheduler.
+func NewNODC() Scheduler { return nodc{} }
+
+func (nodc) Name() string { return "NODC" }
+
+func (nodc) Admit(*model.Txn) (bool, sim.Time) { return true, 0 }
+
+func (nodc) Request(*model.Txn) Outcome { return Outcome{Decision: Grant} }
+
+func (nodc) Validate(*model.Txn) (bool, sim.Time) { return true, 0 }
+
+func (nodc) Committed(*model.Txn) {}
+
+func (nodc) Aborted(*model.Txn) { panic("sched: NODC never aborts") }

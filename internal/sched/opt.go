@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+)
+
+// opt is Optimistic Locking (Kung-Robinson): transactions execute without
+// any locks; at commit point the scheduler certifies serializability by
+// backward validation — the transaction aborts and restarts if any
+// transaction that committed during its execution wrote a file in its
+// read-or-write set. All the I/O of an aborted attempt is wasted, which is
+// what makes OPT saturate resources under high data contention.
+type opt struct {
+	clock     int64 // logical validation clock (ticks on every commit)
+	startedAt map[int64]int64
+	history   []optCommit
+}
+
+type optCommit struct {
+	at     int64
+	writes map[model.FileID]bool
+}
+
+// NewOPT returns an optimistic scheduler.
+func NewOPT() Scheduler {
+	return &opt{startedAt: make(map[int64]int64)}
+}
+
+func (s *opt) Name() string { return "OPT" }
+
+// Admit always starts the transaction, stamping the attempt's start time.
+// Restarted transactions are re-admitted, getting a fresh stamp.
+func (s *opt) Admit(t *model.Txn) (bool, sim.Time) {
+	s.startedAt[t.ID] = s.clock
+	return true, 0
+}
+
+func (s *opt) Request(*model.Txn) Outcome { return Outcome{Decision: Grant} }
+
+// Validate performs backward validation against the transactions that
+// committed after this attempt started.
+func (s *opt) Validate(t *model.Txn) (bool, sim.Time) {
+	start, ok := s.startedAt[t.ID]
+	if !ok {
+		panic("sched: OPT validating a transaction that never started")
+	}
+	rs, ws := t.ReadSet(), t.WriteSet()
+	for _, c := range s.history {
+		if c.at <= start {
+			continue
+		}
+		for f := range c.writes {
+			if rs[f] || ws[f] {
+				return false, 0
+			}
+		}
+	}
+	return true, 0
+}
+
+func (s *opt) Committed(t *model.Txn) {
+	s.clock++
+	s.history = append(s.history, optCommit{at: s.clock, writes: t.WriteSet()})
+	delete(s.startedAt, t.ID)
+	s.prune()
+}
+
+// Aborted drops the attempt stamp; the control node re-admits the
+// transaction, which re-stamps it.
+func (s *opt) Aborted(t *model.Txn) {
+	delete(s.startedAt, t.ID)
+}
+
+// prune discards commit records no running attempt can conflict with.
+func (s *opt) prune() {
+	oldest := s.clock
+	for _, at := range s.startedAt {
+		if at < oldest {
+			oldest = at
+		}
+	}
+	keep := s.history[:0]
+	for _, c := range s.history {
+		if c.at > oldest {
+			keep = append(keep, c)
+		}
+	}
+	s.history = keep
+}

@@ -1,0 +1,128 @@
+package sim
+
+import "fmt"
+
+// Handler is a piece of model logic run when an event fires. The engine
+// passes the current virtual time.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence on the calendar. It is returned by
+// Schedule so callers can cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64 // FIFO tie-break among equal timestamps
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 when not on the heap
+	label    string
+}
+
+// Time returns the virtual time the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event's handler from running. Canceling an event that
+// already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Engine is a single-threaded discrete-event simulator. Events scheduled for
+// the same timestamp fire in scheduling order, which makes every run fully
+// deterministic for a given seed and model.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now      Time
+	seq      uint64
+	calendar eventHeap
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events dispatched so far (canceled events
+// excluded).
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently on the calendar, including
+// canceled events that have not yet been discarded.
+func (e *Engine) Pending() int { return e.calendar.Len() }
+
+// Schedule books fn to run after delay. A negative delay panics: the model
+// would be rewinding time, which is always a bug.
+func (e *Engine) Schedule(delay Time, fn Handler) *Event {
+	return e.ScheduleLabeled(delay, "", fn)
+}
+
+// ScheduleAt books fn to run at absolute virtual time at (>= Now).
+func (e *Engine) ScheduleAt(at Time, fn Handler) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	return e.book(at, "", fn)
+}
+
+// ScheduleLabeled is Schedule with a diagnostic label (shown in panics and
+// useful in tests/tracing).
+func (e *Engine) ScheduleLabeled(delay Time, label string, fn Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.book(e.now+delay, label, fn)
+}
+
+func (e *Engine) book(at Time, label string, fn Handler) *Event {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, label: label}
+	e.calendar.push(ev)
+	return ev
+}
+
+// Step dispatches the single next event. It returns false when the calendar
+// is empty or the next event is beyond horizon.
+func (e *Engine) Step(horizon Time) bool {
+	for e.calendar.Len() > 0 {
+		next := e.calendar.peek()
+		if next.canceled {
+			e.calendar.pop()
+			continue
+		}
+		if next.at > horizon {
+			return false
+		}
+		e.calendar.pop()
+		e.now = next.at
+		e.executed++
+		next.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events in timestamp order until the calendar drains or the
+// next event lies beyond horizon. The clock is left at the last dispatched
+// event (or horizon if nothing at all fired past it); callers that want the
+// clock pinned to the horizon should use RunUntil.
+func (e *Engine) Run(horizon Time) {
+	for e.Step(horizon) {
+	}
+}
+
+// RunUntil runs to the horizon and then advances the clock to exactly the
+// horizon, which is what a fixed measurement window wants.
+func (e *Engine) RunUntil(horizon Time) {
+	e.Run(horizon)
+	if e.now < horizon {
+		e.now = horizon
+	}
+}

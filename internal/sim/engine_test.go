@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second != 1_000_000 {
+		t.Fatalf("Second = %d µs, want 1e6", int64(Second))
+	}
+	if got := FromMilliseconds(1.5); got != 1500 {
+		t.Errorf("FromMilliseconds(1.5) = %d, want 1500", int64(got))
+	}
+	if got := FromSeconds(0.001); got != Millisecond {
+		t.Errorf("FromSeconds(0.001) = %v, want 1ms", got)
+	}
+	if got := (70 * Second).Seconds(); got != 70 {
+		t.Errorf("Seconds() = %v, want 70", got)
+	}
+	if got := (200 * Millisecond).Milliseconds(); got != 200 {
+		t.Errorf("Milliseconds() = %v, want 200", got)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.500s" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*Millisecond, func(Time) { order = append(order, 3) })
+	e.Schedule(10*Millisecond, func(Time) { order = append(order, 1) })
+	e.Schedule(20*Millisecond, func(Time) { order = append(order, 2) })
+	e.Run(Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("dispatch order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Errorf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Millisecond, func(Time) { order = append(order, i) })
+	}
+	e.Run(Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-break order = %v, want scheduling order", order)
+		}
+	}
+}
+
+func TestEngineHorizonStopsDispatch(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10*Millisecond, func(Time) { fired++ })
+	e.Schedule(90*Millisecond, func(Time) { fired++ })
+	e.Run(50 * Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (horizon must hold back later events)", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(200 * Millisecond)
+	if fired != 2 || e.Now() != 200*Millisecond {
+		t.Errorf("after RunUntil: fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10*Millisecond, func(Time) { fired = true })
+	ev.Cancel()
+	e.Run(Second)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	if e.Executed() != 0 {
+		t.Errorf("Executed = %d, want 0", e.Executed())
+	}
+}
+
+func TestEngineEventsScheduledDuringDispatch(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	var chain Handler
+	chain = func(now Time) {
+		times = append(times, now)
+		if len(times) < 5 {
+			e.Schedule(7*Millisecond, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	e.Run(Second)
+	if len(times) != 5 {
+		t.Fatalf("chain length = %d, want 5", len(times))
+	}
+	for i, ts := range times {
+		if want := Time(i) * 7 * Millisecond; ts != want {
+			t.Errorf("times[%d] = %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestEngineZeroDelaySameTimeRunsAfterCurrent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(Millisecond, func(Time) {
+		order = append(order, "a")
+		e.Schedule(0, func(Time) { order = append(order, "b") })
+		order = append(order, "a-end")
+	})
+	e.Run(Second)
+	want := []string{"a", "a-end", "b"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEnginePanicsOnNegativeDelayAndNilHandler(t *testing.T) {
+	e := NewEngine()
+	mustPanic(t, func() { e.Schedule(-1, func(Time) {}) })
+	mustPanic(t, func() { e.Schedule(1, nil) })
+	mustPanic(t, func() {
+		e.now = 10
+		e.ScheduleAt(5, func(Time) {})
+	})
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// Property: events always fire in nondecreasing time order regardless of the
+// scheduling sequence.
+func TestEngineMonotonicDispatchProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Time(d)*Microsecond, func(now Time) { fired = append(fired, now) })
+		}
+		e.Run(Time(1 << 30))
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminismAndStreams(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give identical sequences")
+		}
+	}
+	s1 := NewRNG(42).Stream("arrivals")
+	s2 := NewRNG(42).Stream("arrivals")
+	s3 := NewRNG(42).Stream("files")
+	if s1.Float64() != s2.Float64() {
+		t.Fatal("same stream name must be reproducible")
+	}
+	if s1.Seed() == s3.Seed() {
+		t.Fatal("different stream names must derive different seeds")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(7)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(1.2)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/1.2) > 0.01 {
+		t.Errorf("Exp(1.2) mean = %v, want ~%v", mean, 1/1.2)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	g := NewRNG(11)
+	const n = 200000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := g.Norm(0, 2)
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(sd-2) > 0.03 {
+		t.Errorf("Norm sd = %v, want ~2", sd)
+	}
+}
+
+func TestRNGTwoDistinct(t *testing.T) {
+	g := NewRNG(3)
+	counts := make(map[int]int)
+	for i := 0; i < 20000; i++ {
+		a, b := g.TwoDistinct(8)
+		if a == b {
+			t.Fatal("TwoDistinct returned equal values")
+		}
+		if a < 0 || a >= 8 || b < 0 || b >= 8 {
+			t.Fatalf("out of range: %d %d", a, b)
+		}
+		counts[a]++
+		counts[b]++
+	}
+	for v, c := range counts {
+		if c < 4000 || c > 6000 {
+			t.Errorf("value %d drawn %d times, want ~5000 (uniformity)", v, c)
+		}
+	}
+	mustPanic(t, func() { g.TwoDistinct(1) })
+	mustPanic(t, func() { g.Exp(0) })
+}
+
+func TestRNGExpTime(t *testing.T) {
+	g := NewRNG(5)
+	const n = 100000
+	var total Time
+	for i := 0; i < n; i++ {
+		total += g.ExpTime(2.0) // 2 events/sec -> mean gap 0.5s
+	}
+	mean := total.Seconds() / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("ExpTime(2) mean = %v s, want ~0.5", mean)
+	}
+}
+
+func TestHeapStress(t *testing.T) {
+	g := NewRNG(99)
+	e := NewEngine()
+	const n = 5000
+	var last Time = -1
+	count := 0
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(g.Intn(1000))*Millisecond, func(now Time) {
+			if now < last {
+				t.Errorf("heap emitted out-of-order event: %v after %v", now, last)
+			}
+			last = now
+			count++
+		})
+	}
+	e.Run(Time(1 << 40))
+	if count != n {
+		t.Fatalf("dispatched %d, want %d", count, n)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	g := NewRNG(17)
+	seen := make(map[int]bool)
+	p := g.Perm(10)
+	if len(p) != 10 {
+		t.Fatalf("len = %d", len(p))
+	}
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := map[float64]float64{0: 0.5, -1: 0.1587, 1: 0.8413, -0.1: 0.4602}
+	for x, want := range cases {
+		if got := NormalCDF(x); math.Abs(got-want) > 1e-3 {
+			t.Errorf("Φ(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+// eventHeap is a binary min-heap ordered by (time, seq). It is hand-rolled
+// rather than container/heap to avoid the interface boxing on the hot path:
+// a 2M-ms simulation dispatches hundreds of thousands of events.
+type eventHeap struct {
+	items []*Event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *eventHeap) push(ev *Event) {
+	ev.index = len(h.items)
+	h.items = append(h.items, ev)
+	h.up(len(h.items) - 1)
+}
+
+func (h *eventHeap) peek() *Event {
+	return h.items[0]
+}
+
+func (h *eventHeap) pop() *Event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

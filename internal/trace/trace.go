@@ -1,0 +1,149 @@
+// Package trace records simulation execution events as JSON Lines, one
+// event per line, for offline analysis and debugging. A Writer implements
+// machine.Observer; plug it into a Machine with SetObserver. Multiple
+// observers can be combined with Multi.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+)
+
+// Event is one trace record.
+type Event struct {
+	// At is the virtual time in milliseconds.
+	At float64 `json:"at_ms"`
+	// Kind is "step", "commit" or "restart".
+	Kind string `json:"kind"`
+	// Txn is the transaction id.
+	Txn int64 `json:"txn"`
+	// Step is the step index (step events only).
+	Step int `json:"step,omitempty"`
+	// File is the file the step accessed (step events only).
+	File int `json:"file,omitempty"`
+	// Write marks writing steps (step events only).
+	Write bool `json:"write,omitempty"`
+	// RTms is the response time in milliseconds (commit events only).
+	RTms float64 `json:"rt_ms,omitempty"`
+	// Cost is the transaction's total actual I/O demand in objects
+	// (commit events only) — lets consumers classify transaction sizes.
+	Cost float64 `json:"cost,omitempty"`
+	// Restarts is the transaction's restart count (commit/restart events).
+	Restarts int `json:"restarts,omitempty"`
+}
+
+// Writer streams events to an io.Writer as JSONL. Create with NewWriter
+// and Flush (or Close via the caller's file) when done.
+type Writer struct {
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	events int
+	err    error
+}
+
+// NewWriter returns a trace writer on w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (t *Writer) emit(e Event) {
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(e); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// StepDone implements machine.Observer.
+func (t *Writer) StepDone(txn *model.Txn, step int, at sim.Time) {
+	st := txn.Steps[step]
+	t.emit(Event{
+		At: at.Milliseconds(), Kind: "step", Txn: txn.ID,
+		Step: step, File: int(st.File), Write: st.Write,
+	})
+}
+
+// Committed implements machine.Observer.
+func (t *Writer) Committed(txn *model.Txn, at sim.Time) {
+	t.emit(Event{
+		At: at.Milliseconds(), Kind: "commit", Txn: txn.ID,
+		RTms: (at - txn.Arrival).Milliseconds(), Restarts: txn.Restarts,
+		Cost: txn.TotalCost(),
+	})
+}
+
+// Restarted implements machine.Observer.
+func (t *Writer) Restarted(txn *model.Txn, at sim.Time) {
+	t.emit(Event{At: at.Milliseconds(), Kind: "restart", Txn: txn.ID, Restarts: txn.Restarts})
+}
+
+// Events returns the number of events emitted so far.
+func (t *Writer) Events() int { return t.events }
+
+// Flush drains buffered output and reports any write error encountered.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// Read parses a JSONL trace back into events (for tests and tools).
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}
+
+// observer is the subset of machine.Observer trace needs; redeclared here
+// to avoid importing machine (which would be an upward dependency).
+type observer interface {
+	StepDone(t *model.Txn, step int, at sim.Time)
+	Committed(t *model.Txn, at sim.Time)
+	Restarted(t *model.Txn, at sim.Time)
+}
+
+// Multi fans events out to several observers (e.g. a history recorder and a
+// trace writer at once).
+type Multi []observer
+
+// NewMulti combines observers.
+func NewMulti(os ...observer) Multi { return Multi(os) }
+
+// StepDone implements machine.Observer.
+func (m Multi) StepDone(t *model.Txn, step int, at sim.Time) {
+	for _, o := range m {
+		o.StepDone(t, step, at)
+	}
+}
+
+// Committed implements machine.Observer.
+func (m Multi) Committed(t *model.Txn, at sim.Time) {
+	for _, o := range m {
+		o.Committed(t, at)
+	}
+}
+
+// Restarted implements machine.Observer.
+func (m Multi) Restarted(t *model.Txn, at sim.Time) {
+	for _, o := range m {
+		o.Restarted(t, at)
+	}
+}

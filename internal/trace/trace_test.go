@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"batchsched/internal/history"
+	"batchsched/internal/machine"
+	"batchsched/internal/model"
+	"batchsched/internal/sched"
+	"batchsched/internal/sim"
+	"batchsched/internal/workload"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+
+	txn := model.NewTxn(7, 0, []model.Step{
+		{File: 3, Write: false, LockMode: model.S, Cost: 1, DeclaredCost: 1},
+		{File: 4, Write: true, LockMode: model.X, Cost: 2, DeclaredCost: 2},
+	})
+	w.StepDone(txn, 0, 1500*sim.Millisecond)
+	w.Restarted(txn, 2000*sim.Millisecond)
+	txn.Restarts = 1
+	w.StepDone(txn, 1, 5000*sim.Millisecond)
+	w.Committed(txn, 5100*sim.Millisecond)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != 4 {
+		t.Fatalf("events = %d, want 4", w.Events())
+	}
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("read %d events", len(events))
+	}
+	if events[0].Kind != "step" || events[0].File != 3 || events[0].Write {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Kind != "restart" || events[1].Txn != 7 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+	if events[2].Kind != "step" || !events[2].Write || events[2].Step != 1 {
+		t.Errorf("event 2 = %+v", events[2])
+	}
+	if events[3].Kind != "commit" || events[3].RTms != 5100 || events[3].Restarts != 1 {
+		t.Errorf("event 3 = %+v", events[3])
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"kind\":\"step\"}\nnot json\n")); err == nil {
+		t.Fatal("garbage line must error")
+	}
+}
+
+func TestTraceFromRealRun(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.ArrivalRate = 0.3
+	cfg.Duration = 100_000 * sim.Millisecond
+	m, err := machine.New(cfg, sched.MustNew("LOW", sched.DefaultParams()), workload.NewExp1(16), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := history.New()
+	m.SetObserver(NewMulti(w, rec)) // Multi must satisfy machine.Observer
+	sum := m.Run()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits, steps := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case "commit":
+			commits++
+		case "step":
+			steps++
+		}
+	}
+	if commits != sum.Completions {
+		t.Errorf("trace commits = %d, summary completions = %d", commits, sum.Completions)
+	}
+	if steps != sum.StepsExecuted {
+		t.Errorf("trace steps = %d, summary steps = %d", steps, sum.StepsExecuted)
+	}
+	if rec.Commits() != sum.Completions {
+		t.Errorf("multi observer dropped history events")
+	}
+	// Events are time-ordered.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+)
+
+// Exp1Skewed is Experiment 1 with Zipf-distributed file popularity instead
+// of uniform choice: file i is drawn with probability proportional to
+// 1/(i+1)^Theta. Popular files concentrate work on their home nodes, which
+// is the load imbalance the paper's "resource-level load-balancing" future
+// work is about.
+type Exp1Skewed struct {
+	// NumFiles is the database size.
+	NumFiles int
+	// Theta is the Zipf exponent (0 = uniform; ~0.8-1.2 = heavily skewed).
+	Theta float64
+
+	cdf []float64
+}
+
+// NewExp1Skewed returns a skewed Experiment-1 generator.
+func NewExp1Skewed(numFiles int, theta float64) *Exp1Skewed {
+	if numFiles < 2 {
+		panic("workload: skewed Experiment 1 needs >= 2 files")
+	}
+	if theta < 0 {
+		panic("workload: Zipf exponent must be >= 0")
+	}
+	g := &Exp1Skewed{NumFiles: numFiles, Theta: theta}
+	g.cdf = make([]float64, numFiles)
+	sum := 0.0
+	for i := 0; i < numFiles; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		g.cdf[i] = sum
+	}
+	for i := range g.cdf {
+		g.cdf[i] /= sum
+	}
+	return g
+}
+
+// draw samples one file from the Zipf CDF.
+func (g *Exp1Skewed) draw(rng *sim.RNG) int {
+	u := rng.Float64()
+	lo, hi := 0, g.NumFiles-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Steps instantiates Pattern1 on two distinct Zipf-drawn files.
+func (g *Exp1Skewed) Steps(rng *sim.RNG) []model.Step {
+	f1 := g.draw(rng)
+	f2 := f1
+	for f2 == f1 {
+		f2 = g.draw(rng)
+	}
+	steps, err := Pattern1.Instantiate(map[string]model.FileID{
+		"F1": model.FileID(f1),
+		"F2": model.FileID(f2),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return steps
+}

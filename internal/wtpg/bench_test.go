@@ -1,0 +1,79 @@
+package wtpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"batchsched/internal/model"
+)
+
+// benchChain builds an n-node chain graph with random weights.
+func benchChain(n int, seed int64) (*Graph, []*model.Txn) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(1 + rng.Intn(9))
+		y[i] = float64(1 + rng.Intn(9))
+	}
+	txns := chainTxns(x, y)
+	g := New()
+	for _, tx := range txns {
+		g.Add(tx)
+	}
+	return g, txns
+}
+
+// BenchmarkOptimalChainOrientation measures GOW's Phase-2 optimization on a
+// 32-node chain (far larger than typical simulation state).
+func BenchmarkOptimalChainOrientation(b *testing.B) {
+	g, _ := benchChain(32, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.OptimalChainOrientation(RemainingDemand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate measures LOW's E(q) (clone + grant + critical path) on
+// a 32-node chain.
+func BenchmarkEvaluate(b *testing.B) {
+	g, txns := benchChain(32, 7)
+	t := txns[10]
+	f := t.Steps[0].File
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(g, t, f, model.X, RemainingDemand)
+	}
+}
+
+// BenchmarkChainFormAfterAdd measures GOW's Phase-0 admission test, the
+// hottest scheduler call at saturation.
+func BenchmarkChainFormAfterAdd(b *testing.B) {
+	g, _ := benchChain(32, 7)
+	probe := model.NewTxn(999, 0, []model.Step{
+		{File: 5, Write: true, LockMode: model.X, Cost: 1, DeclaredCost: 1},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ChainFormAfterAdd(probe)
+	}
+}
+
+// BenchmarkGrant measures orientation plus closure after a grant.
+func BenchmarkGrant(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, txns := benchChain(24, int64(i))
+		t := txns[11]
+		b.StartTimer()
+		if err := g.Grant(t, t.Steps[0].File, model.X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package wtpg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"batchsched/internal/model"
+)
+
+// ChainForm reports whether the WTPG is in "chain form": every transaction
+// conflicts only with its adjacent nodes, i.e. the undirected conflict graph
+// is a disjoint union of simple paths (max degree 2, no cycles). GOW only
+// admits transactions that keep the graph in this form, because the optimal
+// serializable order is then computable in polynomial time.
+func (g *Graph) ChainForm() bool {
+	// Degree check.
+	for _, id := range g.order {
+		if len(g.adj[id]) > 2 {
+			return false
+		}
+	}
+	// Cycle check on the undirected conflict graph: a forest has
+	// |edges| = |nodes| - |components| for every component; equivalently a
+	// component with as many edges as nodes contains a cycle.
+	visited := make(map[int64]bool)
+	for _, start := range g.order {
+		if visited[start] {
+			continue
+		}
+		nodes, edges := 0, 0
+		stack := []int64{start}
+		visited[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nodes++
+			for u := range g.adj[v] {
+				edges++ // counted from both sides; halve below
+				if !visited[u] {
+					visited[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		if edges/2 >= nodes && nodes > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ChainFormAfterAdd reports whether the graph would still be in chain form
+// after adding t (GOW's Phase 0 admission test). The graph is not modified.
+// Assuming the graph is currently in chain form, adding t keeps it so iff t
+// conflicts with at most two residents, each prospective neighbor currently
+// has degree <= 1 (it would become an interior node), and — when there are
+// two neighbors — they lie in different components (joining the same path's
+// two endpoints would close a cycle). This is O(active + component) and
+// runs on every admission retry, so it must not clone the graph.
+func (g *Graph) ChainFormAfterAdd(t *model.Txn) bool {
+	var nbrs []int64
+	for _, id := range g.order {
+		if declConflict(t, g.txns[id]) {
+			nbrs = append(nbrs, id)
+			if len(nbrs) > 2 {
+				return false
+			}
+		}
+	}
+	for _, u := range nbrs {
+		if len(g.adj[u]) > 1 {
+			return false
+		}
+	}
+	if len(nbrs) == 2 && g.sameComponent(nbrs[0], nbrs[1]) {
+		return false
+	}
+	return true
+}
+
+// sameComponent reports whether x and y lie in the same undirected
+// component (the graph is a union of paths, so this walks at most one
+// path).
+func (g *Graph) sameComponent(x, y int64) bool {
+	seen := map[int64]bool{x: true}
+	stack := []int64{x}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == y {
+			return true
+		}
+		for u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return false
+}
+
+// Plan is a full serializable order W for a chain-form WTPG: an orientation
+// of every edge, chosen to minimize the critical path from T0 to Tf.
+type Plan struct {
+	// Value is the critical-path length of the WTPG under W.
+	Value float64
+	pred  map[[2]int64]int64 // canonical (a,b) -> id of the predecessor endpoint
+}
+
+// Precedes reports whether W orders from before to. The second result is
+// false when the plan has no edge between the pair.
+func (p *Plan) Precedes(from, to int64) (bool, bool) {
+	a, b := pairKey(from, to)
+	w, ok := p.pred[[2]int64{a, b}]
+	if !ok {
+		return false, false
+	}
+	return w == from, true
+}
+
+// Edges returns the number of oriented pairs in the plan.
+func (p *Plan) Edges() int { return len(p.pred) }
+
+// OptimalChainOrientation computes the full serializable order W that
+// minimizes the critical path of a chain-form WTPG (GOW's Phase 2),
+// respecting already-determined precedence edges. It runs in O(m² log m)
+// per chain component via a threshold search over the O(m²) candidate
+// critical-path values with an O(m) feasibility DP — matching the paper's
+// "O((Number of Nodes)²)" bound up to the log factor.
+//
+// It returns an error when the graph is not in chain form.
+func (g *Graph) OptimalChainOrientation(w0 T0Weight) (*Plan, error) {
+	if !g.ChainForm() {
+		return nil, fmt.Errorf("wtpg: graph is not in chain form")
+	}
+	plan := &Plan{pred: make(map[[2]int64]int64)}
+	visited := make(map[int64]bool)
+	for _, start := range g.order {
+		if visited[start] {
+			continue
+		}
+		comp := g.pathComponent(start)
+		for _, id := range comp {
+			visited[id] = true
+		}
+		value := g.solveChain(comp, w0, plan)
+		if value > plan.Value {
+			plan.Value = value
+		}
+	}
+	return plan, nil
+}
+
+// pathComponent returns the nodes of start's component in path order,
+// beginning at the endpoint with the smaller id (for determinism). For a
+// singleton it returns just the node.
+func (g *Graph) pathComponent(start int64) []int64 {
+	// Collect the component.
+	var nodes []int64
+	seen := map[int64]bool{start: true}
+	stack := []int64{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes = append(nodes, v)
+		for u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	if len(nodes) == 1 {
+		return nodes
+	}
+	// Find endpoints (degree 1 within the component; the component is a path).
+	var endpoints []int64
+	for _, v := range nodes {
+		if len(g.adj[v]) == 1 {
+			endpoints = append(endpoints, v)
+		}
+	}
+	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+	// Walk the path from the smallest endpoint.
+	ordered := make([]int64, 0, len(nodes))
+	prev := int64(-1)
+	cur := endpoints[0]
+	for {
+		ordered = append(ordered, cur)
+		next := int64(-1)
+		for u := range g.adj[cur] {
+			if u != prev && seen[u] {
+				next = u
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		prev, cur = cur, next
+	}
+	return ordered
+}
+
+// chainEdge is one edge of a path component in walk order.
+type chainEdge struct {
+	f, b  float64 // weight oriented forward (v_i -> v_{i+1}) / backward
+	fixed Dir     // Undetermined if free; AToB meaning "forward" here, BToA "backward"
+}
+
+// solveChain minimizes the critical path of one path component and records
+// the chosen orientation into plan. It returns the component's minimal
+// critical-path value.
+func (g *Graph) solveChain(comp []int64, w0 T0Weight, plan *Plan) float64 {
+	m := len(comp)
+	r := make([]float64, m)
+	maxR := 0.0
+	for i, id := range comp {
+		r[i] = w0(g.txns[id])
+		if r[i] > maxR {
+			maxR = r[i]
+		}
+	}
+	if m == 1 {
+		return maxR
+	}
+	edges := make([]chainEdge, m-1)
+	for i := 0; i < m-1; i++ {
+		e, _ := g.edgeBetween(comp[i], comp[i+1])
+		var ce chainEdge
+		if comp[i] == e.a {
+			ce.f, ce.b = e.wAB, e.wBA
+			ce.fixed = e.dir
+		} else {
+			ce.f, ce.b = e.wBA, e.wAB
+			switch e.dir {
+			case AToB:
+				ce.fixed = BToA
+			case BToA:
+				ce.fixed = AToB
+			default:
+				ce.fixed = Undetermined
+			}
+		}
+		edges[i] = ce
+	}
+
+	// Candidate critical values: every r_s, every forward contiguous sum
+	// r_s + Σ f, every backward contiguous sum r_s + Σ b.
+	cands := append([]float64(nil), r...)
+	for s := 0; s < m; s++ {
+		sum := 0.0
+		for j := s; j < m-1; j++ {
+			sum += edges[j].f
+			cands = append(cands, r[s]+sum)
+		}
+		sum = 0.0
+		for i := s - 1; i >= 0; i-- {
+			sum += edges[i].b
+			cands = append(cands, r[s]+sum)
+		}
+	}
+	sort.Float64s(cands)
+	cands = dedupFloats(cands)
+	// Binary search the smallest feasible candidate >= maxR.
+	lo := sort.SearchFloat64s(cands, maxR)
+	hi := len(cands) - 1
+	// The largest candidate is always feasible (it bounds every run value).
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible, _ := chainFeasible(r, edges, cands[mid]); feasible {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	value := cands[lo]
+	_, dirs := chainFeasible(r, edges, value)
+	for i, forward := range dirs {
+		a, b := pairKey(comp[i], comp[i+1])
+		winner := comp[i]
+		if !forward {
+			winner = comp[i+1]
+		}
+		plan.pred[[2]int64{a, b}] = winner
+	}
+	return value
+}
+
+// chainFeasible decides whether an orientation of the free edges exists such
+// that every directed run's path value stays <= x, and returns one such
+// orientation (true = forward) when it does.
+func chainFeasible(r []float64, edges []chainEdge, x float64) (bool, []bool) {
+	for _, ri := range r {
+		if ri > x {
+			return false, nil
+		}
+	}
+	const inf = math.MaxFloat64
+	n := len(edges)
+	// sf[i]: minimal open forward-run value with edge i forward; sb[i]:
+	// minimal open backward-run weight-sum with edge i backward.
+	sf := make([]float64, n)
+	sb := make([]float64, n)
+	// fromF[i] records whether state (i, dir) was reached from a forward
+	// state at i-1 (used for reconstruction).
+	fromFf := make([]bool, n)
+	fromFb := make([]bool, n)
+	for i := 0; i < n; i++ {
+		sf[i], sb[i] = inf, inf
+		allowF := edges[i].fixed != BToA
+		allowB := edges[i].fixed != AToB
+		if allowF {
+			base := r[i] + edges[i].f
+			var best float64 = inf
+			fromF := false
+			if i == 0 {
+				best = base
+			} else {
+				if sb[i-1] < inf {
+					best = base
+				}
+				if sf[i-1] < inf {
+					v := sf[i-1] + edges[i].f
+					if base > v {
+						v = base
+					}
+					if v < best {
+						best = v
+						fromF = true
+					}
+				}
+			}
+			if best <= x {
+				sf[i] = best
+				fromFf[i] = fromF
+			}
+		}
+		if allowB {
+			var best float64 = inf
+			fromF := false
+			if i == 0 {
+				best = edges[i].b
+			} else {
+				if sf[i-1] < inf {
+					best = edges[i].b
+					fromF = true
+				}
+				if sb[i-1] < inf {
+					v := sb[i-1] + edges[i].b
+					if v < best {
+						best = v
+						fromF = false
+					}
+				}
+			}
+			if best < inf && r[i+1]+best <= x {
+				sb[i] = best
+				fromFb[i] = fromF
+			}
+		}
+		if sf[i] == inf && sb[i] == inf {
+			return false, nil
+		}
+	}
+	if n == 0 {
+		return true, nil
+	}
+	// Reconstruct.
+	dirs := make([]bool, n)
+	forward := sf[n-1] < inf
+	for i := n - 1; i >= 0; i-- {
+		dirs[i] = forward
+		if forward {
+			forward = fromFf[i]
+		} else {
+			forward = fromFb[i]
+		}
+	}
+	return true, dirs
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package wtpg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the WTPG in Graphviz DOT format for debugging and
+// papers: T0 with its weighted edges to every transaction, solid arrows for
+// precedence edges, dashed bidirectional pairs for undetermined conflict
+// edges, each labeled with its weight(s).
+func (g *Graph) WriteDOT(w io.Writer, w0 T0Weight) error {
+	var b strings.Builder
+	b.WriteString("digraph wtpg {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  T0 [shape=doublecircle];\n")
+	for _, id := range g.order {
+		fmt.Fprintf(&b, "  T%d [shape=circle];\n", id)
+	}
+	for _, id := range g.order {
+		fmt.Fprintf(&b, "  T0 -> T%d [label=\"%g\", color=gray];\n", id, w0(g.txns[id]))
+	}
+	edges := g.edgeSet()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		switch e.dir {
+		case Undetermined:
+			fmt.Fprintf(&b, "  T%d -> T%d [label=\"%g\", style=dashed, dir=both];\n", e.a, e.b, e.wAB)
+			fmt.Fprintf(&b, "  T%d -> T%d [label=\"%g\", style=dashed, dir=both];\n", e.b, e.a, e.wBA)
+		default:
+			from, to, weight := e.oriented()
+			fmt.Fprintf(&b, "  T%d -> T%d [label=\"%g\"];\n", from, to, weight)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

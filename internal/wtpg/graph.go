@@ -1,0 +1,546 @@
+// Package wtpg implements the Weighted Transaction-Precedence Graph of
+// Ohmori et al. (ICDE 1990/1991), the estimation tool behind the GOW and LOW
+// batch schedulers.
+//
+// A WTPG holds one node per active transaction plus the virtual initial
+// transaction T0 (and final transaction Tf, whose edges all weigh zero and
+// are therefore implicit). Two transactions whose access declarations
+// conflict on some file are joined by a conflict edge; once their
+// serialization order is determined the edge becomes a precedence edge. Each
+// direction of an edge carries a weight: the declared I/O demand (in
+// objects) the successor must still pay from its blocked step to its commit,
+// assuming the predecessor has just committed. T0's edge to each transaction
+// weighs that transaction's remaining declared demand and is the only weight
+// that changes as the schedule proceeds.
+package wtpg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"batchsched/internal/model"
+)
+
+// Dir is the orientation state of an edge.
+type Dir int
+
+const (
+	// Undetermined: still a conflict edge (no serialization order chosen).
+	Undetermined Dir = iota
+	// AToB: the lower-ID endpoint precedes the higher-ID endpoint.
+	AToB
+	// BToA: the higher-ID endpoint precedes the lower-ID endpoint.
+	BToA
+)
+
+// ErrDeadlock is returned when an orientation would close a precedence cycle
+// (or contradict an existing precedence edge), i.e. when granting the
+// request under evaluation would deadlock the schedule.
+var ErrDeadlock = fmt.Errorf("wtpg: orientation closes a precedence cycle")
+
+type edge struct {
+	a, b  int64   // a < b
+	wAB   float64 // weight when oriented a->b: b's remaining demand from its blocked step
+	wBA   float64 // weight when oriented b->a
+	files []model.FileID
+	dir   Dir
+}
+
+func (e *edge) conflictsOn(f model.FileID) bool {
+	for _, x := range e.files {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *edge) other(id int64) int64 {
+	if id == e.a {
+		return e.b
+	}
+	return e.a
+}
+
+// oriented returns (from, to, weight) for a determined edge.
+func (e *edge) oriented() (int64, int64, float64) {
+	if e.dir == AToB {
+		return e.a, e.b, e.wAB
+	}
+	return e.b, e.a, e.wBA
+}
+
+func pairKey(x, y int64) (int64, int64) {
+	if x < y {
+		return x, y
+	}
+	return y, x
+}
+
+// Graph is a WTPG over the currently active transactions. It is not safe for
+// concurrent use; each simulation run owns its graphs exclusively.
+type Graph struct {
+	txns  map[int64]*model.Txn
+	adj   map[int64]map[int64]*edge
+	order []int64 // insertion order, for deterministic iteration
+}
+
+// New returns an empty WTPG.
+func New() *Graph {
+	return &Graph{
+		txns: make(map[int64]*model.Txn),
+		adj:  make(map[int64]map[int64]*edge),
+	}
+}
+
+// Len returns the number of (general) transactions in the graph.
+func (g *Graph) Len() int { return len(g.txns) }
+
+// Has reports whether the transaction is in the graph.
+func (g *Graph) Has(id int64) bool { _, ok := g.txns[id]; return ok }
+
+// Txn returns the transaction with the given id, or nil.
+func (g *Graph) Txn(id int64) *model.Txn { return g.txns[id] }
+
+// Txns returns the transactions in insertion order.
+func (g *Graph) Txns() []*model.Txn {
+	out := make([]*model.Txn, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.txns[id])
+	}
+	return out
+}
+
+// Add inserts a transaction, creating a conflict edge (with both directional
+// weights from the access declarations) to every already-present transaction
+// it conflicts with. Adding an existing id panics: it is always a scheduler
+// bug.
+func (g *Graph) Add(t *model.Txn) {
+	if g.Has(t.ID) {
+		panic(fmt.Sprintf("wtpg: transaction %d already present", t.ID))
+	}
+	g.txns[t.ID] = t
+	g.adj[t.ID] = make(map[int64]*edge)
+	g.order = append(g.order, t.ID)
+	for _, id := range g.order[:len(g.order)-1] {
+		u := g.txns[id]
+		files := conflictFiles(t, u)
+		if len(files) == 0 {
+			continue
+		}
+		a, b := pairKey(t.ID, u.ID)
+		ta, tb := g.txns[a], g.txns[b]
+		wAB, _ := model.ConflictWeight(tb, ta) // b blocked by a
+		wBA, _ := model.ConflictWeight(ta, tb)
+		e := &edge{a: a, b: b, wAB: wAB, wBA: wBA, files: files}
+		g.adj[t.ID][u.ID] = e
+		g.adj[u.ID][t.ID] = e
+	}
+}
+
+// declConflict reports whether the declared needs of x and y request
+// incompatible modes on at least one common file, without allocating.
+func declConflict(x, y *model.Txn) bool {
+	nx, ny := x.LockNeed(), y.LockNeed()
+	if len(ny) < len(nx) {
+		nx, ny = ny, nx
+	}
+	for f, mx := range nx {
+		if my, ok := ny[f]; ok && !mx.Compatible(my) {
+			return true
+		}
+	}
+	return false
+}
+
+// conflictFiles lists the files on which the declared needs of x and y
+// request incompatible lock modes, in ascending order.
+func conflictFiles(x, y *model.Txn) []model.FileID {
+	nx, ny := x.LockNeed(), y.LockNeed()
+	var out []model.FileID
+	for f, mx := range nx {
+		if my, ok := ny[f]; ok && !mx.Compatible(my) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Remove deletes a transaction (typically on commit) together with all of
+// its edges. Removing an absent id is a no-op.
+func (g *Graph) Remove(id int64) {
+	if !g.Has(id) {
+		return
+	}
+	for other := range g.adj[id] {
+		delete(g.adj[other], id)
+	}
+	delete(g.adj, id)
+	delete(g.txns, id)
+	for i, x := range g.order {
+		if x == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph sharing the (immutable) transaction
+// declarations. Used for tentative evaluations such as LOW's E(q).
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.order = append([]int64(nil), g.order...)
+	for id, t := range g.txns {
+		c.txns[id] = t
+		c.adj[id] = make(map[int64]*edge, len(g.adj[id]))
+	}
+	seen := make(map[*edge]*edge)
+	for id, nbrs := range g.adj {
+		for other, e := range nbrs {
+			ce, ok := seen[e]
+			if !ok {
+				cp := *e
+				cp.files = append([]model.FileID(nil), e.files...)
+				ce = &cp
+				seen[e] = ce
+			}
+			c.adj[id][other] = ce
+		}
+	}
+	return c
+}
+
+// EdgeDir returns the orientation state of the edge between x and y, and
+// whether such an edge exists.
+func (g *Graph) EdgeDir(x, y int64) (from, to int64, dir Dir, ok bool) {
+	e, ok2 := g.edgeBetween(x, y)
+	if !ok2 {
+		return 0, 0, Undetermined, false
+	}
+	switch e.dir {
+	case AToB:
+		return e.a, e.b, e.dir, true
+	case BToA:
+		return e.b, e.a, e.dir, true
+	default:
+		return 0, 0, Undetermined, true
+	}
+}
+
+// EdgeWeight returns the weight the edge between from and to would carry
+// when oriented from->to, and whether the pair is joined at all.
+func (g *Graph) EdgeWeight(from, to int64) (float64, bool) {
+	e, ok := g.edgeBetween(from, to)
+	if !ok {
+		return 0, false
+	}
+	if from == e.a {
+		return e.wAB, true
+	}
+	return e.wBA, true
+}
+
+func (g *Graph) edgeBetween(x, y int64) (*edge, bool) {
+	nbrs, ok := g.adj[x]
+	if !ok {
+		return nil, false
+	}
+	e, ok := nbrs[y]
+	return e, ok
+}
+
+// Orient fixes the serialization order from->to on the (existing) edge
+// between the two transactions and propagates the transitive closure of
+// Section 3.3 (a directed path forces the orientation of any conflict edge
+// between its endpoints). It returns ErrDeadlock — leaving the graph
+// unchanged — when the orientation contradicts an existing precedence edge
+// or closes a cycle.
+func (g *Graph) Orient(from, to int64) error {
+	return g.OrientAll([][2]int64{{from, to}})
+}
+
+// OrientAll applies a batch of orientations atomically (all or none),
+// running closure once at the end.
+func (g *Graph) OrientAll(pairs [][2]int64) error {
+	// Work on a private copy of the edge directions so failure leaves g
+	// untouched.
+	type change struct {
+		e   *edge
+		dir Dir
+	}
+	var staged []change
+	dirOf := func(e *edge) Dir {
+		for _, c := range staged {
+			if c.e == e {
+				return c.dir
+			}
+		}
+		return e.dir
+	}
+	stage := func(from, to int64) error {
+		e, ok := g.edgeBetween(from, to)
+		if !ok {
+			return fmt.Errorf("wtpg: no edge between %d and %d", from, to)
+		}
+		want := AToB
+		if from == e.b {
+			want = BToA
+		}
+		cur := dirOf(e)
+		if cur == want {
+			return nil
+		}
+		if cur != Undetermined {
+			return ErrDeadlock
+		}
+		staged = append(staged, change{e, want})
+		return nil
+	}
+	for _, p := range pairs {
+		if err := stage(p[0], p[1]); err != nil {
+			return err
+		}
+	}
+	// Closure to fixpoint: any undetermined edge whose endpoints are joined
+	// by a directed path must follow that path's direction; both directions
+	// reachable means a deadlock.
+	for {
+		reach := g.reachability(dirOf)
+		changed := false
+		for _, e := range g.edgeSet() {
+			if dirOf(e) != Undetermined {
+				continue
+			}
+			ab := reach[e.a][e.b]
+			ba := reach[e.b][e.a]
+			switch {
+			case ab && ba:
+				return ErrDeadlock
+			case ab:
+				staged = append(staged, change{e, AToB})
+				changed = true
+			case ba:
+				staged = append(staged, change{e, BToA})
+				changed = true
+			}
+		}
+		if !changed {
+			// Final cycle check over determined edges.
+			for id := range g.txns {
+				if reach[id][id] {
+					return ErrDeadlock
+				}
+			}
+			break
+		}
+	}
+	for _, c := range staged {
+		c.e.dir = c.dir
+	}
+	return nil
+}
+
+// edgeSet returns each edge exactly once, in a deterministic order.
+func (g *Graph) edgeSet() []*edge {
+	var out []*edge
+	for _, id := range g.order {
+		for _, e := range g.adj[id] {
+			if e.a == id { // emit from the low endpoint only
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].a != out[j].a {
+			return out[i].a < out[j].a
+		}
+		return out[i].b < out[j].b
+	})
+	return out
+}
+
+// reachability computes, under the staged directions, reach[x][y] = true iff
+// a non-empty directed path x -> ... -> y exists.
+func (g *Graph) reachability(dirOf func(*edge) Dir) map[int64]map[int64]bool {
+	succ := make(map[int64][]int64, len(g.txns))
+	for _, e := range g.edgeSet() {
+		switch dirOf(e) {
+		case AToB:
+			succ[e.a] = append(succ[e.a], e.b)
+		case BToA:
+			succ[e.b] = append(succ[e.b], e.a)
+		}
+	}
+	reach := make(map[int64]map[int64]bool, len(g.txns))
+	for id := range g.txns {
+		seen := make(map[int64]bool)
+		stack := append([]int64(nil), succ[id]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			stack = append(stack, succ[v]...)
+		}
+		reach[id] = seen
+	}
+	return reach
+}
+
+// GrantOrientations lists the serialization orders that granting transaction
+// t a lock of mode m on file f would newly determine: t precedes every other
+// active transaction whose declared need on f is incompatible with m. The
+// second return is ErrDeadlock when some such pair is already determined the
+// other way (the grant would violate the existing order).
+func (g *Graph) GrantOrientations(t *model.Txn, f model.FileID, m model.Mode) ([][2]int64, error) {
+	if !g.Has(t.ID) {
+		return nil, fmt.Errorf("wtpg: transaction %d not in graph", t.ID)
+	}
+	nbrs := make([]int64, 0, len(g.adj[t.ID]))
+	for u := range g.adj[t.ID] {
+		nbrs = append(nbrs, u)
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	var out [][2]int64
+	for _, uID := range nbrs {
+		e := g.adj[t.ID][uID]
+		if !e.conflictsOn(f) {
+			continue
+		}
+		u := g.txns[uID]
+		um, ok := u.LockNeed()[f]
+		if !ok || um.Compatible(m) {
+			continue
+		}
+		switch e.dir {
+		case Undetermined:
+			out = append(out, [2]int64{t.ID, uID})
+		case AToB:
+			if e.a != t.ID {
+				return nil, ErrDeadlock
+			}
+		case BToA:
+			if e.b != t.ID {
+				return nil, ErrDeadlock
+			}
+		}
+	}
+	return out, nil
+}
+
+// Grant applies the orientations implied by granting t a lock of mode m on
+// file f (see GrantOrientations) plus their closure, atomically. On
+// ErrDeadlock the graph is unchanged and the grant must not proceed.
+func (g *Graph) Grant(t *model.Txn, f model.FileID, m model.Mode) error {
+	pairs, err := g.GrantOrientations(t, f, m)
+	if err != nil {
+		return err
+	}
+	return g.OrientAll(pairs)
+}
+
+// T0Weight is the weight of the edge T0 -> t: t's remaining declared I/O
+// demand at the current scheduling state.
+type T0Weight func(t *model.Txn) float64
+
+// RemainingDemand is the standard T0 weight: the sum of declared costs of
+// the transaction's unfinished steps.
+func RemainingDemand(t *model.Txn) float64 { return t.DeclaredRemaining(t.StepIndex) }
+
+// CriticalPath returns the length of the longest path from T0 to Tf using
+// precedence (determined) edges only; undetermined conflict edges are
+// ignored, exactly as in Phase 2 of the E(q) evaluation. Every Ti->Tf edge
+// weighs zero under the paper's cost model, so the answer is
+//
+//	max over v of [ max over directed paths u1->...->v of w0(u1) + Σ w ].
+//
+// It returns ErrDeadlock if the precedence edges contain a cycle (impossible
+// after successful Orient/Grant calls, but checked defensively).
+func (g *Graph) CriticalPath(w0 T0Weight) (float64, error) {
+	// Longest path over the precedence DAG via Kahn topological order.
+	incoming := make(map[int64][]*edge)
+	indeg := make(map[int64]int)
+	for id := range g.txns {
+		indeg[id] = 0
+	}
+	for _, e := range g.edgeSet() {
+		if e.dir == Undetermined {
+			continue
+		}
+		_, to, _ := e.oriented()
+		incoming[to] = append(incoming[to], e)
+		indeg[to]++
+	}
+	// Kahn topological order.
+	var queue []int64
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	best := make(map[int64]float64, len(g.txns))
+	processed := 0
+	outEdges := func(id int64) []*edge {
+		var out []*edge
+		for _, e := range g.adj[id] {
+			if e.dir == Undetermined {
+				continue
+			}
+			if from, _, _ := e.oriented(); from == id {
+				out = append(out, e)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].other(id) < out[j].other(id) })
+		return out
+	}
+	for i := 0; i < len(queue); i++ {
+		id := queue[i]
+		processed++
+		b := w0(g.txns[id])
+		for _, e := range incoming[id] {
+			from, _, w := e.oriented()
+			if v := best[from] + w; v > b {
+				b = v
+			}
+		}
+		best[id] = b
+		for _, e := range outEdges(id) {
+			_, to, _ := e.oriented()
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if processed != len(g.txns) {
+		return math.Inf(1), ErrDeadlock
+	}
+	var ans float64
+	for _, v := range best {
+		if v > ans {
+			ans = v
+		}
+	}
+	return ans, nil
+}
+
+// Evaluate computes the LOW estimation function E(q) of Fig. 5 for the
+// request "transaction t asks mode m on file f": tentatively grant the
+// request in a copy of the graph (orienting the edges the grant determines,
+// with closure), then return the critical path length ignoring the remaining
+// conflict edges. A grant that would deadlock evaluates to +Inf.
+func Evaluate(g *Graph, t *model.Txn, f model.FileID, m model.Mode, w0 T0Weight) float64 {
+	c := g.Clone()
+	if err := c.Grant(t, f, m); err != nil {
+		return math.Inf(1)
+	}
+	v, err := c.CriticalPath(w0)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return v
+}
