@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"batchsched/internal/experiments"
+	"batchsched/internal/fault"
 	"batchsched/internal/history"
 	"batchsched/internal/machine"
 	"batchsched/internal/metrics"
@@ -64,6 +65,9 @@ type (
 	Options = experiments.Options
 	// Txn is a batch transaction.
 	Txn = model.Txn
+	// FaultConfig carries the fault-injection knobs (Config.Faults); the
+	// zero value is the paper's failure-free machine.
+	FaultConfig = fault.Config
 )
 
 // Lock modes and time units.
@@ -213,8 +217,9 @@ func NewFixedWorkload(pattern string, binding map[string]FileID) (Generator, err
 	return workload.Fixed{Template: steps}, nil
 }
 
-// ArtifactIDs lists the regenerable paper artifacts in paper order:
-// fig8, table2, fig9, table3, fig10, fig11, table4, fig12, fig13, table5.
+// ArtifactIDs lists the regenerable artifacts in paper order — fig8,
+// table2, fig9, table3, fig10, fig11, table4, fig12, fig13, table5 — plus
+// the exp4 fault extension.
 func ArtifactIDs() []string {
 	out := make([]string, len(experiments.Artifacts))
 	for i, a := range experiments.Artifacts {

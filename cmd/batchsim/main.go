@@ -37,6 +37,15 @@ func main() {
 		check     = flag.Bool("check", false, "verify conflict-serializability of the run")
 		traceFile = flag.String("trace", "", "write a JSONL execution trace to this file (single rep only)")
 		asJSON    = flag.Bool("json", false, "print the summary as JSON")
+
+		mtbf         = flag.Float64("mtbf", 0, "per-node mean time between crashes, seconds (0 = no crashes)")
+		mttr         = flag.Float64("mttr", 10, "mean outage per crash, seconds (with -mtbf)")
+		straggler    = flag.String("straggler", "", "straggler spec mtbf/duration/factor, seconds (e.g. 200/20/3)")
+		msgloss      = flag.Float64("msgloss", 0, "CN<->DPN message loss probability, [0,1)")
+		msgdelay     = flag.Float64("msgdelay", 0, "mean extra message network delay, milliseconds")
+		msgtimeout   = flag.Float64("msgtimeout", 5, "step retry timeout, seconds (with -msgloss)")
+		msgretries   = flag.Int("msgretries", 2, "step retries before the transaction aborts")
+		restartDelay = flag.Float64("restartdelay", 0, "hold aborted transactions back, seconds")
 	)
 	flag.Parse()
 
@@ -47,6 +56,35 @@ func main() {
 	cfg.DD = *dd
 	cfg.Duration = batchsched.Time(*duration * float64(batchsched.Second))
 	cfg.Warmup = batchsched.Time(*warmup * float64(batchsched.Second))
+	cfg.RestartDelay = batchsched.Time(*restartDelay * float64(batchsched.Second))
+	cfg.Faults = batchsched.FaultConfig{
+		MTBF:       batchsched.Time(*mtbf * float64(batchsched.Second)),
+		MTTR:       batchsched.Time(*mttr * float64(batchsched.Second)),
+		MsgLoss:    *msgloss,
+		MsgDelay:   batchsched.Time(*msgdelay * float64(batchsched.Millisecond)),
+		MsgTimeout: batchsched.Time(*msgtimeout * float64(batchsched.Second)),
+		MsgRetries: *msgretries,
+	}
+	if *mtbf <= 0 {
+		cfg.Faults.MTTR = 0
+	}
+	if *msgloss <= 0 {
+		cfg.Faults.MsgTimeout = 0
+	}
+	if *straggler != "" {
+		var smtbf, sdur, sfactor float64
+		if _, err := fmt.Sscanf(*straggler, "%g/%g/%g", &smtbf, &sdur, &sfactor); err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: bad -straggler %q (want mtbf/duration/factor, e.g. 200/20/3)\n", *straggler)
+			os.Exit(2)
+		}
+		cfg.Faults.StragglerMTBF = batchsched.Time(smtbf * float64(batchsched.Second))
+		cfg.Faults.StragglerDuration = batchsched.Time(sdur * float64(batchsched.Second))
+		cfg.Faults.StragglerFactor = sfactor
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	params := batchsched.DefaultParams()
 	params.MPL = *mpl
@@ -133,6 +171,12 @@ func main() {
 		100*sum.DPNUtilization, 100*sum.CNUtilization)
 	fmt.Printf("blocks %d  delays %d  admission rejects %d  restarts %d\n",
 		sum.Blocks, sum.Delays, sum.AdmissionRejects, sum.Restarts)
+	if cfg.Faults.Enabled() {
+		fmt.Printf("faults           crashes %d (aborts %d)  stragglers %d  msg lost %d (retries %d, aborts %d)\n",
+			sum.Crashes, sum.CrashAborts, sum.StragglerEpisodes, sum.MsgLost, sum.MsgRetries, sum.MsgAborts)
+		fmt.Printf("availability     %.2f%%  degraded %.0fs (%.3f TPS inside)\n",
+			100*sum.Availability(), sum.DegradedTime.Seconds(), sum.DegradedTPS)
+	}
 	if *check {
 		fmt.Println("serializability  OK")
 	}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"batchsched/internal/fault"
 	"batchsched/internal/machine"
 	"batchsched/internal/metrics"
 	"batchsched/internal/sched"
@@ -52,6 +53,11 @@ type Point struct {
 	Duration sim.Time
 	// K overrides LOW's conflict bound (0 = the paper's K=2).
 	K int
+	// RestartDelay holds fault-aborted transactions back before they are
+	// resubmitted (0 = immediate, the paper's failure-free setting).
+	RestartDelay sim.Time
+	// Faults configures the fault injector (zero value = failure-free).
+	Faults fault.Config
 }
 
 func (p Point) generator() machine.Generator {
@@ -96,6 +102,8 @@ func runOnce(p Point, seed int64) metrics.Summary {
 	if p.Duration > 0 {
 		cfg.Duration = p.Duration
 	}
+	cfg.RestartDelay = p.RestartDelay
+	cfg.Faults = p.Faults
 	m, err := machine.New(cfg, sched.MustNew(p.Scheduler, params), p.generator(), sim.NewRNG(seed))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

@@ -98,7 +98,7 @@ func TestBestC2PLMPicksAnMPL(t *testing.T) {
 }
 
 func TestFindArtifact(t *testing.T) {
-	ids := []string{"fig8", "table2", "fig9", "table3", "fig10", "fig11", "table4", "fig12", "fig13", "table5"}
+	ids := []string{"fig8", "table2", "fig9", "table3", "fig10", "fig11", "table4", "fig12", "fig13", "table5", "exp4"}
 	if len(Artifacts) != len(ids) {
 		t.Fatalf("artifact count = %d, want %d (one per table and figure)", len(Artifacts), len(ids))
 	}
@@ -175,6 +175,7 @@ func TestAllArtifactsSmoke(t *testing.T) {
 		"fig12":  4,
 		"fig13":  18, // 3 DD x 6 sigma
 		"table5": 2,  // GOW, LOW
+		"exp4":   5,  // one per MTBF (incl. failure-free)
 	}
 	for _, a := range Artifacts {
 		a := a

@@ -66,6 +66,7 @@ var Artifacts = []Artifact{
 	{"fig12", "Fig. 12: Exp.2 declustering vs response-time speedup at 1.2 TPS", Fig12},
 	{"fig13", "Fig. 13: error ratio vs throughput at RT=70s (Exp.3)", Fig13},
 	{"table5", "Table 5: sensitivity degradation ratio TPS(σ=10)/TPS(σ=0) (Exp.3)", Table5},
+	{"exp4", "Exp. 4: node MTBF vs response time and restart rate under faults (extension)", Exp4},
 }
 
 // FindArtifact looks an artifact up by ID.

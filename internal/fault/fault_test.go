@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"batchsched/internal/sim"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config must be disabled")
+	}
+	on := []Config{
+		{MTBF: sim.Second, MTTR: sim.Second},
+		{StragglerMTBF: sim.Second, StragglerDuration: sim.Second, StragglerFactor: 2},
+		{MsgLoss: 0.1, MsgTimeout: sim.Second},
+		{MsgDelay: sim.Millisecond},
+	}
+	for i, c := range on {
+		if !c.Enabled() {
+			t.Errorf("config %d should be enabled: %+v", i, c)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %d should validate: %v", i, err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MTBF: -1},
+		{MTTR: -1},
+		{StragglerDuration: -1},
+		{MsgDelay: -1},
+		{MsgTimeout: -1},
+		{MTBF: sim.Second}, // no MTTR
+		{StragglerMTBF: sim.Second, StragglerFactor: 2},                                // no duration
+		{StragglerMTBF: sim.Second, StragglerDuration: sim.Second},                     // factor <= 1
+		{StragglerMTBF: sim.Second, StragglerDuration: sim.Second, StragglerFactor: 1}, // factor == 1
+		{MsgLoss: -0.1},
+		{MsgLoss: 1},
+		{MsgLoss: 0.5}, // no timeout
+		{MsgRetries: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, c)
+		}
+	}
+}
+
+// transition is one hook invocation, for schedule comparison.
+type transition struct {
+	kind string
+	node int
+	at   sim.Time
+}
+
+func record(t *testing.T, seed int64, cfg Config, until sim.Time) []transition {
+	t.Helper()
+	eng := sim.NewEngine()
+	var out []transition
+	h := Hooks{
+		Crash:   func(n int, now sim.Time) { out = append(out, transition{"crash", n, now}) },
+		Restore: func(n int, now sim.Time) { out = append(out, transition{"restore", n, now}) },
+		SlowStart: func(n int, _ float64, now sim.Time) {
+			out = append(out, transition{"slow", n, now})
+		},
+		SlowEnd: func(n int, now sim.Time) { out = append(out, transition{"slowend", n, now}) },
+	}
+	inj, err := NewInjector(cfg, 4, eng, sim.NewRNG(seed).Stream("fault"), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	eng.RunUntil(until)
+	return out
+}
+
+// TestScheduleIsSeedDeterministic: the same (seed, config) must produce the
+// identical crash/straggler schedule on every run, and a different seed a
+// different one.
+func TestScheduleIsSeedDeterministic(t *testing.T) {
+	cfg := Config{
+		MTBF: 50 * sim.Second, MTTR: 5 * sim.Second,
+		StragglerMTBF: 80 * sim.Second, StragglerDuration: 10 * sim.Second, StragglerFactor: 2,
+	}
+	a := record(t, 3, cfg, 1000*sim.Second)
+	b := record(t, 3, cfg, 1000*sim.Second)
+	if len(a) == 0 {
+		t.Fatal("no transitions in 1000s")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical seeds produced different fault schedules")
+	}
+	if c := record(t, 4, cfg, 1000*sim.Second); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced the identical fault schedule")
+	}
+}
+
+// TestCrashRestorePairing: every crash is followed by exactly one restore of
+// the same node before that node crashes again.
+func TestCrashRestorePairing(t *testing.T) {
+	cfg := Config{MTBF: 30 * sim.Second, MTTR: 3 * sim.Second}
+	down := map[int]bool{}
+	for _, tr := range record(t, 7, cfg, 2000*sim.Second) {
+		switch tr.kind {
+		case "crash":
+			if down[tr.node] {
+				t.Fatalf("node %d crashed at %v while already down", tr.node, tr.at)
+			}
+			down[tr.node] = true
+		case "restore":
+			if !down[tr.node] {
+				t.Fatalf("node %d restored at %v while up", tr.node, tr.at)
+			}
+			down[tr.node] = false
+		}
+	}
+}
+
+// TestStragglerWindowsAreFixedLength: every slow window lasts exactly
+// StragglerDuration.
+func TestStragglerWindowsAreFixedLength(t *testing.T) {
+	cfg := Config{StragglerMTBF: 40 * sim.Second, StragglerDuration: 7 * sim.Second, StragglerFactor: 3}
+	start := map[int]sim.Time{}
+	seen := 0
+	for _, tr := range record(t, 11, cfg, 2000*sim.Second) {
+		switch tr.kind {
+		case "slow":
+			start[tr.node] = tr.at
+		case "slowend":
+			if got := tr.at - start[tr.node]; got != cfg.StragglerDuration {
+				t.Fatalf("window on node %d lasted %v, want %v", tr.node, got, cfg.StragglerDuration)
+			}
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no complete straggler windows in 2000s")
+	}
+}
+
+// TestInertDimensionsDrawNothing: with the message knobs zero, MsgLost and
+// MsgExtraDelay must not consume RNG state (the zero-drift guarantee).
+func TestInertDimensionsDrawNothing(t *testing.T) {
+	eng := sim.NewEngine()
+	inj, err := NewInjector(Config{MTBF: 50 * sim.Second, MTTR: 5 * sim.Second}, 2, eng, sim.NewRNG(1).Stream("fault"), Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if inj.MsgLost() {
+			t.Fatal("MsgLost true with MsgLoss = 0")
+		}
+		if inj.MsgExtraDelay() != 0 {
+			t.Fatal("extra delay with MsgDelay = 0")
+		}
+	}
+	// The stream must be untouched: its next draw equals the first draw of a
+	// freshly derived identical stream.
+	ref := sim.NewRNG(1).Stream("fault").Stream("msg")
+	if inj.msgRNG.Float64() != ref.Float64() {
+		t.Error("inert message dimension consumed RNG state")
+	}
+}
+
+// TestMsgLossRate: the loss draw tracks the configured probability.
+func TestMsgLossRate(t *testing.T) {
+	eng := sim.NewEngine()
+	inj, err := NewInjector(Config{MsgLoss: 0.2, MsgTimeout: sim.Second, MsgRetries: 1}, 2, eng, sim.NewRNG(1).Stream("fault"), Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	const n = 20000
+	for k := 0; k < n; k++ {
+		if inj.MsgLost() {
+			lost++
+		}
+	}
+	if rate := float64(lost) / n; rate < 0.18 || rate > 0.22 {
+		t.Errorf("loss rate = %g, want ~0.2", rate)
+	}
+	if inj.Timeout() != sim.Second || inj.Retries() != 1 {
+		t.Error("Timeout/Retries accessors do not echo the config")
+	}
+}

@@ -1,0 +1,198 @@
+package history_test
+
+import (
+	"testing"
+
+	"batchsched/internal/fault"
+	"batchsched/internal/history"
+	"batchsched/internal/lock"
+	"batchsched/internal/machine"
+	"batchsched/internal/metrics"
+	"batchsched/internal/sched"
+	"batchsched/internal/sim"
+	"batchsched/internal/wtpg"
+)
+
+// faultScenario pairs a fault configuration with the restart hold-back that
+// keeps crash victims from hammering a node that is still down, plus a probe
+// asserting the scenario's faults actually fired (a scenario that injects
+// nothing would pass vacuously).
+type faultScenario struct {
+	name         string
+	faults       fault.Config
+	restartDelay sim.Time
+	fired        func(s metrics.Summary) bool
+}
+
+func faultScenarios() []faultScenario {
+	return []faultScenario{
+		{
+			name:         "crashes",
+			faults:       fault.Config{MTBF: 150 * sim.Second, MTTR: 5 * sim.Second},
+			restartDelay: 2 * sim.Second,
+			fired:        func(s metrics.Summary) bool { return s.Crashes > 0 },
+		},
+		{
+			name:         "msgloss",
+			faults:       fault.Config{MsgLoss: 0.05, MsgTimeout: 5 * sim.Second, MsgRetries: 3},
+			restartDelay: sim.Second,
+			fired:        func(s metrics.Summary) bool { return s.MsgLost > 0 },
+		},
+		{
+			name:   "stragglers",
+			faults: fault.Config{StragglerMTBF: 120 * sim.Second, StragglerDuration: 20 * sim.Second, StragglerFactor: 4},
+			fired:  func(s metrics.Summary) bool { return s.StragglerEpisodes > 0 },
+		},
+		{
+			name: "combined",
+			faults: fault.Config{
+				MTBF: 200 * sim.Second, MTTR: 5 * sim.Second,
+				StragglerMTBF: 150 * sim.Second, StragglerDuration: 15 * sim.Second, StragglerFactor: 3,
+				MsgLoss: 0.03, MsgTimeout: 5 * sim.Second, MsgRetries: 3,
+			},
+			restartDelay: 2 * sim.Second,
+			fired:        func(s metrics.Summary) bool { return s.Crashes > 0 && s.StragglerEpisodes > 0 },
+		},
+	}
+}
+
+// realSchedulers are the rollback-capable schedulers of the paper's lineup;
+// NODC (no concurrency control at all) is exercised separately below.
+var realSchedulers = []string{"ASL", "GOW", "LOW", "C2PL", "C2PL+M", "OPT"}
+
+func newFaultyRecorder(name string) *history.Recorder {
+	if name == "OPT" {
+		return history.NewDeferredWrites()
+	}
+	return history.New()
+}
+
+// TestFaultDifferentialSerializable is the differential harness: every real
+// scheduler runs the same adversarial random workload once failure-free and
+// once per fault scenario, and the committed history must stay
+// conflict-serializable either way — fault-induced aborts must never leak a
+// committed-but-conflicting interleaving.
+func TestFaultDifferentialSerializable(t *testing.T) {
+	scenarios := append([]faultScenario{{name: "nofaults", fired: func(metrics.Summary) bool { return true }}},
+		faultScenarios()...)
+	for _, name := range realSchedulers {
+		for _, sc := range scenarios {
+			t.Run(name+"/"+sc.name, func(t *testing.T) {
+				p := sched.DefaultParams()
+				if name == "C2PL+M" {
+					p.MPL = 6
+				}
+				cfg := machine.DefaultConfig()
+				cfg.NumFiles = 6
+				cfg.ArrivalRate = 0.25
+				if name == "OPT" {
+					cfg.ArrivalRate = 0.1
+				}
+				cfg.Duration = 300_000 * sim.Millisecond
+				cfg.RestartDelay = sc.restartDelay
+				cfg.Faults = sc.faults
+				m, err := machine.New(cfg, sched.MustNew(name, p), randomGen{files: 6}, sim.NewRNG(101))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := newFaultyRecorder(name)
+				m.SetObserver(rec)
+				sum := m.Run()
+				if !sc.fired(sum) {
+					t.Fatalf("scenario injected no faults (summary %+v)", sum)
+				}
+				if err := rec.CheckSerializable(); err != nil {
+					t.Fatalf("non-serializable under %s: %v", sc.name, err)
+				}
+				if sum.Completions == 0 {
+					t.Fatal("nothing completed under faults")
+				}
+			})
+		}
+	}
+}
+
+// TestFaultDrainReleasesAllLocks drains a fixed burst through crashes and
+// message loss: once the machine is empty again, every lock, WTPG node and
+// admission slot must have been given back — an abort path that leaks any of
+// them would deadlock a long-running system.
+func TestFaultDrainReleasesAllLocks(t *testing.T) {
+	const txns = 30
+	for _, name := range realSchedulers {
+		t.Run(name, func(t *testing.T) {
+			p := sched.DefaultParams()
+			if name == "C2PL+M" {
+				p.MPL = 6
+			}
+			s := sched.MustNew(name, p)
+			cfg := machine.DefaultConfig()
+			cfg.NumFiles = 6
+			cfg.ArrivalRate = 0
+			cfg.Duration = 3_000_000 * sim.Millisecond
+			cfg.RestartDelay = 2 * sim.Second
+			cfg.Faults = fault.Config{
+				MTBF: 250 * sim.Second, MTTR: 5 * sim.Second,
+				MsgLoss: 0.03, MsgTimeout: 5 * sim.Second, MsgRetries: 3,
+			}
+			m, err := machine.New(cfg, s, nil, sim.NewRNG(53))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := newFaultyRecorder(name)
+			m.SetObserver(rec)
+			g := randomGen{files: 6}
+			wrng := sim.NewRNG(53 * 13)
+			for i := 0; i < txns; i++ {
+				steps := g.Steps(wrng)
+				m.Engine().Schedule(sim.Time(i)*8*sim.Second, func(sim.Time) { m.Submit(steps) })
+			}
+			sum := m.Run()
+			if sum.Crashes == 0 && sum.MsgLost == 0 {
+				t.Fatal("burst saw no faults — scenario too mild to test the abort paths")
+			}
+			if sum.Completions != txns || m.InFlight() != 0 {
+				t.Fatalf("completions = %d (want %d), in flight = %d: burst did not drain", sum.Completions, txns, m.InFlight())
+			}
+			if err := rec.CheckSerializable(); err != nil {
+				t.Fatalf("non-serializable: %v", err)
+			}
+			if lt, ok := s.(interface{ Locks() *lock.Table }); ok {
+				if n := lt.Locks().LockedFiles(); n != 0 {
+					t.Errorf("%d files still locked after drain — abort path leaks locks", n)
+				}
+			}
+			if gr, ok := s.(interface{ Graph() *wtpg.Graph }); ok {
+				if n := gr.Graph().Len(); n != 0 {
+					t.Errorf("%d transactions still in the WTPG after drain", n)
+				}
+			}
+			if ac, ok := s.(interface{ Active() int }); ok {
+				if n := ac.Active(); n != 0 {
+					t.Errorf("%d admission slots still held after drain", n)
+				}
+			}
+		})
+	}
+}
+
+// TestNODCViolatesSerializabilityUnderFaults: the differential baseline — the
+// same harness that proves the real schedulers safe must still catch NODC
+// interleaving conflicting writes, faults or not.
+func TestNODCViolatesSerializabilityUnderFaults(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumFiles = 3
+	cfg.ArrivalRate = 1.2
+	cfg.Duration = 300_000 * sim.Millisecond
+	cfg.RestartDelay = 2 * sim.Second
+	cfg.Faults = fault.Config{MTBF: 150 * sim.Second, MTTR: 5 * sim.Second}
+	m, err := machine.New(cfg, sched.MustNew("NODC", sched.DefaultParams()), randomGen{files: 3}, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := history.New()
+	m.SetObserver(rec)
+	m.Run()
+	if rec.CheckSerializable() == nil {
+		t.Error("NODC under heavy write contention produced a serializable history — the harness is not discriminating")
+	}
+}

@@ -10,6 +10,7 @@ package machine
 import (
 	"fmt"
 
+	"batchsched/internal/fault"
 	"batchsched/internal/sim"
 )
 
@@ -56,10 +57,14 @@ type Config struct {
 	// retried only after commits, not after every grant.
 	NoWakeOnGrant bool
 	// RestartDelay holds an aborted transaction (optimistic validation
-	// failure or 2PL deadlock victim) back for this long before it
-	// re-executes — the paper's "aborted requests are submitted again after
-	// some delay". Zero restarts immediately.
+	// failure, 2PL deadlock victim, or fault-induced abort) back for this
+	// long before it re-executes — the paper's "aborted requests are
+	// submitted again after some delay". Zero restarts immediately.
 	RestartDelay sim.Time
+	// Faults configures the fault injector (crashes, stragglers, lossy
+	// messaging). The zero value is the paper's failure-free machine and
+	// leaves the failure-free event sequence untouched.
+	Faults fault.Config
 }
 
 // DefaultConfig returns the paper's Table-1 machine parameters with the
@@ -100,6 +105,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: negative CPU/network times")
 	case c.MPL < 0:
 		return fmt.Errorf("machine: MPL must be >= 0, got %d", c.MPL)
+	case c.RestartDelay < 0:
+		return fmt.Errorf("machine: RestartDelay must be >= 0, got %v", c.RestartDelay)
 	}
-	return nil
+	return c.Faults.Validate()
 }

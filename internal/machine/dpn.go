@@ -12,6 +12,12 @@ type cohort struct {
 	remaining sim.Time
 	quantum   sim.Time
 	done      func()
+	// run ties the cohort back to its step dispatch so a node crash can
+	// abort the owning transaction; nil in fault-free runs and tests.
+	run *stepRun
+	// dead marks a cohort whose transaction aborted (crash on a sibling
+	// node, or step retry); the serving node drops it without calling done.
+	dead bool
 }
 
 // dpn is a data-processing node: a single server that interleaves its
@@ -26,6 +32,14 @@ type dpn struct {
 	ring []*cohort
 	cur  int
 	busy bool
+
+	// down marks a crashed node; the machine refuses deliveries to it.
+	down bool
+	// slow is the straggler service-time multiplier (0 or 1 = nominal).
+	slow float64
+	// pending is the in-progress quantum's completion event, kept so a
+	// crash can cancel it.
+	pending *sim.Event
 }
 
 func newDPN(id int, eng *sim.Engine, met *metrics.Collector) *dpn {
@@ -38,6 +52,9 @@ func (d *dpn) add(c *cohort) {
 	if c.quantum <= 0 {
 		panic("machine: cohort quantum must be positive")
 	}
+	if d.down {
+		panic("machine: cohort delivered to a down node")
+	}
 	d.ring = append(d.ring, c)
 	if !d.busy {
 		d.busy = true
@@ -48,23 +65,65 @@ func (d *dpn) add(c *cohort) {
 // queueLen reports the number of resident cohorts.
 func (d *dpn) queueLen() int { return len(d.ring) }
 
+// crash takes the node down: the in-progress quantum is cancelled and every
+// resident cohort is lost. The killed cohorts are returned so the machine
+// can abort the transactions that owned them.
+func (d *dpn) crash() []*cohort {
+	d.down = true
+	if d.pending != nil {
+		d.pending.Cancel()
+		d.pending = nil
+	}
+	killed := d.ring
+	d.ring = nil
+	d.cur = 0
+	d.busy = false
+	return killed
+}
+
+// restore brings a crashed node back, empty and ready to serve.
+func (d *dpn) restore() { d.down = false }
+
+// setSlow applies (factor > 1) or clears (factor <= 1) the straggler
+// multiplier. It affects quanta scheduled from now on; the one in progress
+// finishes at its booked speed.
+func (d *dpn) setSlow(factor float64) { d.slow = factor }
+
 // serve runs one quantum (or the cohort's remainder) for the cohort at the
-// rotation cursor, then advances.
+// rotation cursor, then advances. Dead cohorts at the cursor are dropped;
+// a quantum already under way for a cohort that dies mid-slice completes
+// (the work is wasted) and the cohort is then dropped.
 func (d *dpn) serve() {
+	for len(d.ring) > 0 {
+		if d.cur >= len(d.ring) {
+			d.cur = 0
+		}
+		if !d.ring[d.cur].dead {
+			break
+		}
+		d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
+	}
 	if len(d.ring) == 0 {
 		d.busy = false
 		return
-	}
-	if d.cur >= len(d.ring) {
-		d.cur = 0
 	}
 	c := d.ring[d.cur]
 	slice := c.quantum
 	if c.remaining < slice {
 		slice = c.remaining
 	}
-	d.eng.Schedule(slice, func(sim.Time) {
-		d.met.DPNBusy(d.id, slice)
+	elapsed := slice
+	if d.slow > 1 {
+		elapsed = sim.Time(float64(slice) * d.slow)
+	}
+	d.pending = d.eng.Schedule(elapsed, func(sim.Time) {
+		d.pending = nil
+		d.met.DPNBusy(d.id, elapsed)
+		if c.dead {
+			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
+			d.serve()
+			return
+		}
 		c.remaining -= slice
 		if c.remaining <= 0 {
 			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)

@@ -1,0 +1,174 @@
+package machine
+
+import (
+	"batchsched/internal/fault"
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+)
+
+// FaultObserver is an optional extension of Observer: observers that also
+// implement it (trace.Writer does) additionally receive fault-injection
+// events. Checked by type assertion so existing observers keep working.
+type FaultObserver interface {
+	// Fault fires for a machine-level fault transition: kind is "crash",
+	// "restore", "slow", "slowend" or "msgloss"; node is the affected
+	// data-processing node.
+	Fault(kind string, node int, at sim.Time)
+	// AbortedTxn fires when a fault aborts a transaction; reason is
+	// "crash" (lost cohorts) or "timeout" (message retries exhausted).
+	// The machine also fires the regular Restarted for these aborts.
+	AbortedTxn(t *model.Txn, reason string, at sim.Time)
+	// Retried fires when the control node re-dispatches a step after a
+	// message timeout; attempt is 1-based.
+	Retried(t *model.Txn, attempt int, at sim.Time)
+}
+
+// stepRun tracks one dispatch attempt of one granted step: its cohorts and
+// whether the attempt has been invalidated by a fault. A fresh stepRun is
+// made per retry so stale timers and cohort completions of a superseded
+// attempt are ignored via the dead flag.
+type stepRun struct {
+	e       *exec
+	home    int // the step file's home node (fault attribution)
+	attempt int // 0-based dispatch attempt
+	pending int // cohorts not yet completed
+	cohorts []*cohort
+	dead    bool
+}
+
+// wireFaults builds the fault injector when any knob is set. Fault draws
+// come from the dedicated "fault" stream of the master seed, so the
+// crash/straggler schedule depends only on (seed, fault config) — never on
+// the workload or the scheduler under test — and failure-free runs draw
+// nothing extra.
+func (m *Machine) wireFaults(rng *sim.RNG) error {
+	if !m.cfg.Faults.Enabled() {
+		return nil
+	}
+	inj, err := fault.NewInjector(m.cfg.Faults, m.cfg.NumNodes, m.eng, rng.Stream("fault"), fault.Hooks{
+		Crash:     m.onCrash,
+		Restore:   m.onRestore,
+		SlowStart: m.onSlowStart,
+		SlowEnd:   m.onSlowEnd,
+	})
+	if err != nil {
+		return err
+	}
+	m.inj = inj
+	return nil
+}
+
+func (m *Machine) faultEvent(kind string, node int) {
+	if fo, ok := m.obs.(FaultObserver); ok {
+		fo.Fault(kind, node, m.eng.Now())
+	}
+}
+
+// onCrash takes the node down and aborts every transaction that had a
+// cohort resident there (their sibling cohorts on healthy nodes die too).
+func (m *Machine) onCrash(node int, now sim.Time) {
+	m.met.NodeDown(now)
+	m.faultEvent("crash", node)
+	for _, c := range m.dpns[node].crash() {
+		if c.run != nil {
+			m.abortRun(c.run, "crash")
+		}
+	}
+}
+
+func (m *Machine) onRestore(node int, now sim.Time) {
+	m.met.NodeUp(now)
+	m.faultEvent("restore", node)
+	m.dpns[node].restore()
+}
+
+func (m *Machine) onSlowStart(node int, factor float64, now sim.Time) {
+	m.met.StragglerStart(now)
+	m.faultEvent("slow", node)
+	m.dpns[node].setSlow(factor)
+}
+
+func (m *Machine) onSlowEnd(node int, now sim.Time) {
+	m.met.StragglerEnd(now)
+	m.faultEvent("slowend", node)
+	m.dpns[node].setSlow(1)
+}
+
+// msgDelay is the network delay of one CN<->DPN message, including any
+// injected extra latency.
+func (m *Machine) msgDelay() sim.Time {
+	d := m.cfg.NetDelay
+	if m.inj != nil {
+		d += m.inj.MsgExtraDelay()
+	}
+	return d
+}
+
+// armTimeout books the control node's retry timer for a dispatch whose
+// request or reply message was lost. The model is omniscient about loss —
+// the timer is armed only when a message actually went missing — so no
+// timer bookkeeping is needed on the (common) healthy path and the
+// failure-free event sequence is untouched.
+func (m *Machine) armTimeout(run *stepRun) {
+	m.eng.Schedule(m.inj.Timeout(), func(sim.Time) {
+		if run.dead {
+			return
+		}
+		m.stepTimeout(run)
+	})
+}
+
+// stepTimeout retires the timed-out attempt and either re-dispatches the
+// step or, once the retry budget is spent, aborts the transaction.
+func (m *Machine) stepTimeout(run *stepRun) {
+	run.dead = true
+	for _, c := range run.cohorts {
+		c.dead = true
+	}
+	e := run.e
+	if run.attempt >= m.inj.Retries() {
+		m.met.MsgAbort()
+		m.abortTxn(e, "timeout")
+		return
+	}
+	m.met.MsgRetry()
+	if fo, ok := m.obs.(FaultObserver); ok {
+		fo.Retried(e.txn, run.attempt+1, m.eng.Now())
+	}
+	m.dispatchStep(e, run.attempt+1)
+}
+
+// abortRun invalidates a dispatch attempt killed by a node crash and aborts
+// its transaction.
+func (m *Machine) abortRun(run *stepRun, reason string) {
+	if run.dead {
+		return
+	}
+	run.dead = true
+	for _, c := range run.cohorts {
+		c.dead = true
+	}
+	m.met.CrashAbort()
+	m.abortTxn(run.e, reason)
+}
+
+// abortTxn rolls a running transaction back after a fault: the scheduler
+// releases its locks (and WTPG node where applicable), the observer sees
+// the rollback, waiters on its files are reconsidered, and the transaction
+// is resubmitted after RestartDelay — the same recovery contract as the
+// deadlock-victim and validation-failure paths.
+func (m *Machine) abortTxn(e *exec, reason string) {
+	e.run = nil
+	m.met.Restart()
+	e.txn.Restarts++
+	m.sch.Aborted(e.txn)
+	e.txn.StepIndex = 0
+	if m.obs != nil {
+		m.obs.Restarted(e.txn, m.eng.Now())
+	}
+	if fo, ok := m.obs.(FaultObserver); ok {
+		fo.AbortedTxn(e.txn, reason, m.eng.Now())
+	}
+	m.wakeCommit(e.txn) // its released locks may unblock others
+	m.restartAfterDelay(e)
+}

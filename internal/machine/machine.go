@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"batchsched/internal/fault"
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
 	"batchsched/internal/sched"
@@ -46,6 +47,7 @@ type exec struct {
 	phase        txnPhase
 	admitCharged bool
 	admitted     bool
+	run          *stepRun // current step dispatch, while phRunning
 }
 
 // Machine is one Shared-Nothing machine simulation run: engine, control
@@ -61,6 +63,7 @@ type Machine struct {
 	cn    *controlNode
 	dpns  []*dpn
 	obs   Observer
+	inj   *fault.Injector // nil on the failure-free path
 
 	arrivalRNG  *sim.RNG
 	workloadRNG *sim.RNG
@@ -103,6 +106,9 @@ func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, 
 	if la, ok := s.(sched.LoadAware); ok {
 		la.SetLoadProbe(m.fileLoad)
 	}
+	if err := m.wireFaults(rng); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -135,6 +141,9 @@ func (m *Machine) Submit(steps []model.Step) *model.Txn {
 // Run executes the configured workload for cfg.Duration and returns the
 // metrics summary.
 func (m *Machine) Run() metrics.Summary {
+	if m.inj != nil {
+		m.inj.Start()
+	}
 	if m.cfg.ArrivalRate > 0 {
 		if m.gen == nil {
 			panic("machine: ArrivalRate > 0 needs a Generator")
@@ -252,11 +261,28 @@ func (m *Machine) requestLock(e *exec) {
 // file's home node (one message), the step runs as DD cohorts of C/DD
 // objects round-robin-interleaved at their nodes, and when the last cohort
 // finishes the transaction returns to the CN (one message).
-func (m *Machine) executeStep(e *exec) {
+func (m *Machine) executeStep(e *exec) { m.dispatchStep(e, 0) }
+
+// dispatchStep is one dispatch attempt of the current step (attempt > 0
+// after message-timeout retries). With faults enabled, the request message
+// may be lost, deliveries pick up injected latency, and a crashed home or
+// partition node aborts the transaction; the failure-free path schedules
+// exactly the same events as before the fault subsystem existed.
+func (m *Machine) dispatchStep(e *exec, attempt int) {
 	st := e.txn.CurrentStep()
 	m.cn.submit(func() (sim.Time, func()) {
 		return m.cfg.MsgTime, func() {
 			e.phase = phRunning
+			run := &stepRun{e: e, home: m.place.Home(st.File), attempt: attempt}
+			e.run = run
+			if m.inj != nil && m.inj.MsgLost() {
+				// The CN->DPN request vanished; the retry timer is the
+				// only way forward.
+				m.met.MsgLost()
+				m.faultEvent("msgloss", run.home)
+				m.armTimeout(run)
+				return
+			}
 			nodes := m.place.Nodes(st.File)
 			service := sim.Time(float64(m.cfg.ObjTime) * st.Cost / float64(m.cfg.DD))
 			quantum := m.cfg.ObjTime / sim.Time(m.cfg.DD)
@@ -268,34 +294,72 @@ func (m *Machine) executeStep(e *exec) {
 					quantum = 1
 				}
 			}
-			pendingCohorts := len(nodes)
+			run.pending = len(nodes)
 			for _, n := range nodes {
 				node := m.dpns[n]
-				c := &cohort{remaining: service, quantum: quantum, done: func() {
-					pendingCohorts--
-					if pendingCohorts > 0 {
-						return
-					}
-					// All cohorts returned to the home node; the
-					// transaction flows back to the CN after the network
-					// delay and one receive message.
-					m.eng.Schedule(m.cfg.NetDelay, func(sim.Time) {
-						m.cn.submit(func() (sim.Time, func()) {
-							return m.cfg.MsgTime, func() {
-								m.met.StepExecuted()
-								step := e.txn.StepIndex
-								e.txn.StepIndex++
-								if m.obs != nil {
-									m.obs.StepDone(e.txn, step, m.eng.Now())
-								}
-								m.nextStep(e)
-							}
-						})
-					})
-				}}
-				m.eng.Schedule(m.cfg.NetDelay, func(sim.Time) { node.add(c) })
+				c := &cohort{remaining: service, quantum: quantum, run: run}
+				c.done = func() { m.cohortDone(run) }
+				run.cohorts = append(run.cohorts, c)
+				m.eng.Schedule(m.msgDelay(), func(sim.Time) { m.deliverCohort(run, node, c) })
 			}
 		}
+	})
+}
+
+// deliverCohort lands one cohort on its data-processing node. A delivery to
+// a down node means the step cannot proceed: the CN aborts the transaction
+// (in the real machine the commit protocol detects the dead participant).
+func (m *Machine) deliverCohort(run *stepRun, node *dpn, c *cohort) {
+	if run.dead {
+		return
+	}
+	if node.down {
+		m.faultEvent("msgloss", node.id)
+		m.abortRun(run, "crash")
+		return
+	}
+	node.add(c)
+}
+
+// cohortDone counts down the attempt's cohorts; when the last finishes the
+// transaction flows back to the CN after the network delay and one receive
+// message (which may itself be lost).
+func (m *Machine) cohortDone(run *stepRun) {
+	if run.dead {
+		return
+	}
+	run.pending--
+	if run.pending > 0 {
+		return
+	}
+	m.eng.Schedule(m.msgDelay(), func(sim.Time) {
+		if run.dead {
+			return
+		}
+		if m.inj != nil && m.inj.MsgLost() {
+			// The DPN->CN completion reply vanished; the CN will time out
+			// and re-execute the step.
+			m.met.MsgLost()
+			m.faultEvent("msgloss", run.home)
+			m.armTimeout(run)
+			return
+		}
+		e := run.e
+		m.cn.submit(func() (sim.Time, func()) {
+			return m.cfg.MsgTime, func() {
+				if run.dead {
+					return
+				}
+				e.run = nil
+				m.met.StepExecuted()
+				step := e.txn.StepIndex
+				e.txn.StepIndex++
+				if m.obs != nil {
+					m.obs.StepDone(e.txn, step, m.eng.Now())
+				}
+				m.nextStep(e)
+			}
+		})
 	})
 }
 

@@ -18,7 +18,7 @@ func Average(sums []Summary) Summary {
 	n := len(sums)
 	var out Summary
 	out.Window = sums[0].Window
-	var meanRT, p50, p90, maxRT float64
+	var meanRT, p50, p90, maxRT, downTime, degradedTime float64
 	for _, s := range sums {
 		out.Arrivals += s.Arrivals
 		out.Completions += s.Completions
@@ -28,13 +28,23 @@ func Average(sums []Summary) Summary {
 		out.AdmissionRejects += s.AdmissionRejects
 		out.GrantedRequests += s.GrantedRequests
 		out.StepsExecuted += s.StepsExecuted
+		out.Crashes += s.Crashes
+		out.CrashAborts += s.CrashAborts
+		out.MsgLost += s.MsgLost
+		out.MsgRetries += s.MsgRetries
+		out.MsgAborts += s.MsgAborts
+		out.StragglerEpisodes += s.StragglerEpisodes
+		out.CompletionsDegraded += s.CompletionsDegraded
 		meanRT += float64(s.MeanRT)
 		p50 += float64(s.P50RT)
 		p90 += float64(s.P90RT)
 		maxRT += float64(s.MaxRT)
+		downTime += float64(s.DownTime)
+		degradedTime += float64(s.DegradedTime)
 		out.TPS += s.TPS
 		out.CNUtilization += s.CNUtilization
 		out.DPNUtilization += s.DPNUtilization
+		out.DegradedTPS += s.DegradedTPS
 	}
 	div := func(v int) int { return (v + n/2) / n }
 	out.Arrivals = div(out.Arrivals)
@@ -45,14 +55,39 @@ func Average(sums []Summary) Summary {
 	out.AdmissionRejects = div(out.AdmissionRejects)
 	out.GrantedRequests = div(out.GrantedRequests)
 	out.StepsExecuted = div(out.StepsExecuted)
+	out.Crashes = div(out.Crashes)
+	out.CrashAborts = div(out.CrashAborts)
+	out.MsgLost = div(out.MsgLost)
+	out.MsgRetries = div(out.MsgRetries)
+	out.MsgAborts = div(out.MsgAborts)
+	out.StragglerEpisodes = div(out.StragglerEpisodes)
+	out.CompletionsDegraded = div(out.CompletionsDegraded)
 	fn := float64(n)
 	out.MeanRT = sim.Time(meanRT / fn)
 	out.P50RT = sim.Time(p50 / fn)
 	out.P90RT = sim.Time(p90 / fn)
 	out.MaxRT = sim.Time(maxRT / fn)
+	out.DownTime = sim.Time(downTime / fn)
+	out.DegradedTime = sim.Time(degradedTime / fn)
 	out.TPS /= fn
 	out.CNUtilization /= fn
 	out.DPNUtilization /= fn
+	out.DegradedTPS /= fn
+	// Element-wise per-node utilization mean (also keeps Availability
+	// computable on averaged summaries, which needs the node count).
+	if n := len(sums[0].PerDPNUtilization); n > 0 {
+		out.PerDPNUtilization = make([]float64, n)
+		for _, s := range sums {
+			for i, u := range s.PerDPNUtilization {
+				if i < n {
+					out.PerDPNUtilization[i] += u
+				}
+			}
+		}
+		for i := range out.PerDPNUtilization {
+			out.PerDPNUtilization[i] /= fn
+		}
+	}
 	return out
 }
 

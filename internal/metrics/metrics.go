@@ -32,6 +32,23 @@ type Collector struct {
 
 	grantedRequests int
 	stepsExecuted   int
+
+	// Fault accounting (all zero on the failure-free path).
+	crashes     int
+	crashAborts int
+	msgLost     int
+	msgRetries  int
+	msgAborts   int
+	stragglers  int
+
+	downNodes int      // nodes currently down
+	downSince sim.Time // last down-count transition
+	downTime  sim.Time // integral of downNodes over time (node-time)
+
+	degradedCount       int // active fault conditions (crashes + straggler windows)
+	degradedSince       sim.Time
+	degradedTime        sim.Time
+	completionsDegraded int
 }
 
 // NewCollector returns a collector for a machine with numNodes
@@ -55,6 +72,9 @@ func (c *Collector) Completion(now, rt sim.Time) {
 	}
 	c.completions++
 	c.rts = append(c.rts, rt)
+	if c.degradedCount > 0 {
+		c.completionsDegraded++
+	}
 }
 
 // Block, Delay, Restart and AdmissionReject count scheduler decisions.
@@ -69,6 +89,50 @@ func (c *Collector) StepExecuted() { c.stepsExecuted++ }
 
 // CNBusy accumulates control-node CPU busy time.
 func (c *Collector) CNBusy(d sim.Time) { c.cnBusy += d }
+
+// NodeDown records a data-processing node crashing at now.
+func (c *Collector) NodeDown(now sim.Time) {
+	c.crashes++
+	c.downTime += sim.Time(c.downNodes) * (now - c.downSince)
+	c.downNodes++
+	c.downSince = now
+	c.degradeOn(now)
+}
+
+// NodeUp records a crashed node restoring at now.
+func (c *Collector) NodeUp(now sim.Time) {
+	c.downTime += sim.Time(c.downNodes) * (now - c.downSince)
+	c.downNodes--
+	c.downSince = now
+	c.degradeOff(now)
+}
+
+// StragglerStart and StragglerEnd bracket one straggler window.
+func (c *Collector) StragglerStart(now sim.Time) { c.stragglers++; c.degradeOn(now) }
+func (c *Collector) StragglerEnd(now sim.Time)   { c.degradeOff(now) }
+
+// degradeOn/degradeOff maintain the degraded-interval clock: the machine is
+// degraded while at least one fault condition (down node or straggler
+// window) is active.
+func (c *Collector) degradeOn(now sim.Time) {
+	if c.degradedCount == 0 {
+		c.degradedSince = now
+	}
+	c.degradedCount++
+}
+
+func (c *Collector) degradeOff(now sim.Time) {
+	c.degradedCount--
+	if c.degradedCount == 0 {
+		c.degradedTime += now - c.degradedSince
+	}
+}
+
+// CrashAbort, MsgLost, MsgRetry and MsgAbort count fault consequences.
+func (c *Collector) CrashAbort() { c.crashAborts++ }
+func (c *Collector) MsgLost()    { c.msgLost++ }
+func (c *Collector) MsgRetry()   { c.msgRetries++ }
+func (c *Collector) MsgAbort()   { c.msgAborts++ }
 
 // DPNBusy accumulates busy time for one data-processing node.
 func (c *Collector) DPNBusy(node int, d sim.Time) { c.dpnBusy[node] += d }
@@ -97,6 +161,36 @@ type Summary struct {
 	DPNUtilization float64
 	// PerDPNUtilization is each node's busy fraction.
 	PerDPNUtilization []float64
+	// Crashes, CrashAborts, MsgLost, MsgRetries, MsgAborts and
+	// StragglerEpisodes count fault-injection events (zero, and omitted
+	// from JSON, on the failure-free path).
+	Crashes           int `json:",omitempty"`
+	CrashAborts       int `json:",omitempty"`
+	MsgLost           int `json:",omitempty"`
+	MsgRetries        int `json:",omitempty"`
+	MsgAborts         int `json:",omitempty"`
+	StragglerEpisodes int `json:",omitempty"`
+	// DownTime is the integral of down nodes over the run (node-time):
+	// two nodes down for 5 s each contribute 10 s.
+	DownTime sim.Time `json:",omitempty"`
+	// DegradedTime is wall-clock time with at least one fault condition
+	// (down node or straggler window) active; CompletionsDegraded and
+	// DegradedTPS measure throughput inside those intervals.
+	DegradedTime        sim.Time `json:",omitempty"`
+	CompletionsDegraded int      `json:",omitempty"`
+	DegradedTPS         float64  `json:",omitempty"`
+}
+
+// Availability is the fraction of node-time the machine's data-processing
+// nodes were up: 1 - DownTime/(NumNodes * Window). It is 1 on the
+// failure-free path and on averaged summaries that dropped the per-node
+// breakdown.
+func (s Summary) Availability() float64 {
+	n := len(s.PerDPNUtilization)
+	if n == 0 || s.Window <= 0 {
+		return 1
+	}
+	return 1 - float64(s.DownTime)/float64(sim.Time(n)*s.Window)
 }
 
 // Summarize digests the collector at the end of a run of the given total
@@ -113,6 +207,24 @@ func (c *Collector) Summarize(duration sim.Time) Summary {
 		AdmissionRejects: c.admissionRejects,
 		GrantedRequests:  c.grantedRequests,
 		StepsExecuted:    c.stepsExecuted,
+
+		Crashes:             c.crashes,
+		CrashAborts:         c.crashAborts,
+		MsgLost:             c.msgLost,
+		MsgRetries:          c.msgRetries,
+		MsgAborts:           c.msgAborts,
+		StragglerEpisodes:   c.stragglers,
+		CompletionsDegraded: c.completionsDegraded,
+	}
+	// Flush the open down/degraded intervals to the end of the run without
+	// mutating the collector (Summarize stays idempotent).
+	s.DownTime = c.downTime + sim.Time(c.downNodes)*(duration-c.downSince)
+	s.DegradedTime = c.degradedTime
+	if c.degradedCount > 0 {
+		s.DegradedTime += duration - c.degradedSince
+	}
+	if s.DegradedTime > 0 {
+		s.DegradedTPS = float64(c.completionsDegraded) / s.DegradedTime.Seconds()
 	}
 	if window <= 0 {
 		return s
@@ -171,6 +283,12 @@ func (s Summary) String() string {
 		s.Completions, s.TPS, s.MeanRT.Seconds(), 100*s.DPNUtilization, 100*s.CNUtilization)
 	if s.Restarts > 0 {
 		fmt.Fprintf(&b, " restarts=%d", s.Restarts)
+	}
+	if s.Crashes > 0 {
+		fmt.Fprintf(&b, " crashes=%d availability=%.4f", s.Crashes, s.Availability())
+	}
+	if s.MsgLost > 0 {
+		fmt.Fprintf(&b, " msgLost=%d msgAborts=%d", s.MsgLost, s.MsgAborts)
 	}
 	return b.String()
 }

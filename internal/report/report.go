@@ -84,3 +84,16 @@ func F(v float64, decimals int) string {
 	}
 	return fmt.Sprintf("%.*f", decimals, v)
 }
+
+// Paren formats a "main (detail)" cell — the table convention for a
+// measured value with a secondary figure (paper reference, rate, ...).
+func Paren(main, detail string) string { return main + " (" + detail + ")" }
+
+// Pct formats a percentage with the given decimals ("98.3%"); NaN renders
+// as a dash.
+func Pct(v float64, decimals int) string {
+	if v != v {
+		return "-"
+	}
+	return F(v, decimals) + "%"
+}

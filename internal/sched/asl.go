@@ -44,7 +44,10 @@ func (s *asl) Validate(*model.Txn) (bool, sim.Time) { return true, 0 }
 
 func (s *asl) Committed(t *model.Txn) { s.locks.ReleaseAll(t.ID) }
 
-func (s *asl) Aborted(*model.Txn) { panic("sched: ASL never aborts") }
+// Aborted releases the atomically acquired lock set. ASL itself never
+// aborts a transaction; this is the fault-induced rollback path (node
+// crash, message-retry exhaustion) — re-admission re-acquires the set.
+func (s *asl) Aborted(t *model.Txn) { s.locks.ReleaseAll(t.ID) }
 
 // Locks exposes the lock table for invariant checks in tests.
 func (s *asl) Locks() *lock.Table { return s.locks }

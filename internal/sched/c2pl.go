@@ -136,7 +136,14 @@ func (s *c2pl) Committed(t *model.Txn) {
 	s.locks.ReleaseAll(t.ID)
 }
 
-func (s *c2pl) Aborted(*model.Txn) { panic("sched: C2PL never aborts") }
+// Aborted rolls the transaction out of the scheduler state: it leaves the
+// active set and releases every lock it held. C2PL itself never aborts a
+// transaction (no deadlocks, no rollbacks); this is the fault-induced
+// rollback path.
+func (s *c2pl) Aborted(t *model.Txn) {
+	delete(s.active, t.ID)
+	s.locks.ReleaseAll(t.ID)
+}
 
 // Locks exposes the lock table for invariant checks in tests.
 func (s *c2pl) Locks() *lock.Table { return s.locks }

@@ -94,7 +94,13 @@ func (s *gow) Committed(t *model.Txn) {
 	s.locks.ReleaseAll(t.ID)
 }
 
-func (s *gow) Aborted(*model.Txn) { panic("sched: GOW never aborts") }
+// Aborted removes the transaction's WTPG node (its precedence edges go with
+// it) and releases its locks. GOW itself never aborts a transaction; this
+// is the fault-induced rollback path.
+func (s *gow) Aborted(t *model.Txn) {
+	s.graph.Remove(t.ID)
+	s.locks.ReleaseAll(t.ID)
+}
 
 // Locks exposes the lock table for invariant checks in tests.
 func (s *gow) Locks() *lock.Table { return s.locks }

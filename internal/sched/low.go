@@ -138,7 +138,13 @@ func (s *low) Committed(t *model.Txn) {
 	s.locks.ReleaseAll(t.ID)
 }
 
-func (s *low) Aborted(*model.Txn) { panic("sched: LOW never aborts") }
+// Aborted removes the transaction's WTPG node (its precedence edges go with
+// it) and releases its locks. LOW itself never aborts a transaction; this
+// is the fault-induced rollback path.
+func (s *low) Aborted(t *model.Txn) {
+	s.graph.Remove(t.ID)
+	s.locks.ReleaseAll(t.ID)
+}
 
 // Locks exposes the lock table for invariant checks in tests.
 func (s *low) Locks() *lock.Table { return s.locks }

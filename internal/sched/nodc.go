@@ -24,4 +24,6 @@ func (nodc) Validate(*model.Txn) (bool, sim.Time) { return true, 0 }
 
 func (nodc) Committed(*model.Txn) {}
 
-func (nodc) Aborted(*model.Txn) { panic("sched: NODC never aborts") }
+// Aborted is a no-op: NODC holds no scheduler state to roll back. Reached
+// only by fault-induced rollbacks.
+func (nodc) Aborted(*model.Txn) {}

@@ -3,8 +3,10 @@ package sched
 import (
 	"testing"
 
+	"batchsched/internal/lock"
 	"batchsched/internal/model"
 	"batchsched/internal/sim"
+	"batchsched/internal/wtpg"
 )
 
 func mkTxn(id int64, pattern string, binding map[string]model.FileID) *model.Txn {
@@ -265,19 +267,38 @@ func TestOPTWriteWriteConflictAborts(t *testing.T) {
 	}
 }
 
-func TestLockBasedSchedulersNeverAbort(t *testing.T) {
-	files := map[string]model.FileID{"A": 0}
-	for _, name := range []string{"NODC", "ASL", "C2PL", "GOW", "LOW"} {
+// TestFaultAbortReleasesState: the lock-based schedulers never abort on
+// their own, but a fault-induced rollback (node crash, message-retry
+// exhaustion) reaches Aborted mid-flight — it must leave no scheduler state
+// behind (locks released, WTPG node removed, admission slot freed) and the
+// transaction must be re-admittable.
+func TestFaultAbortReleasesState(t *testing.T) {
+	files := map[string]model.FileID{"A": 0, "B": 1}
+	for _, name := range []string{"NODC", "ASL", "C2PL", "C2PL+M", "GOW", "LOW"} {
 		s := MustNew(name, DefaultParams())
-		tx := mkTxn(1, "w(A:1)", files)
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s.Aborted must panic", name)
-				}
-			}()
-			s.Aborted(tx)
-		}()
+		tx := mkTxn(1, "w(A:1)->w(B:1)", files)
+		mustAdmit(t, s, tx)
+		if out := s.Request(tx); out.Decision != Grant {
+			t.Fatalf("%s: lone request = %v, want grant", name, out.Decision)
+		}
+		s.Aborted(tx)
+		tx.StepIndex = 0
+		if lt, ok := s.(interface{ Locks() *lock.Table }); ok {
+			if n := lt.Locks().LockedFiles(); n != 0 {
+				t.Errorf("%s: %d files still locked after fault abort", name, n)
+			}
+		}
+		if gr, ok := s.(interface{ Graph() *wtpg.Graph }); ok {
+			if n := gr.Graph().Len(); n != 0 {
+				t.Errorf("%s: %d WTPG nodes left after fault abort", name, n)
+			}
+		}
+		if ac, ok := s.(interface{ Active() int }); ok {
+			if n := ac.Active(); n != 0 {
+				t.Errorf("%s: %d active transactions left after fault abort", name, n)
+			}
+		}
+		mustAdmit(t, s, tx) // the rolled-back transaction resubmits cleanly
 	}
 }
 

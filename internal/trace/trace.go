@@ -18,14 +18,16 @@ import (
 type Event struct {
 	// At is the virtual time in milliseconds.
 	At float64 `json:"at_ms"`
-	// Kind is "step", "commit" or "restart".
+	// Kind is "step", "commit", "restart", "fault", "abort" or "retry".
 	Kind string `json:"kind"`
-	// Txn is the transaction id.
-	Txn int64 `json:"txn"`
-	// Step is the step index (step events only).
-	Step int `json:"step,omitempty"`
-	// File is the file the step accessed (step events only).
-	File int `json:"file,omitempty"`
+	// Txn is the transaction id (0 for machine-level fault events).
+	Txn int64 `json:"txn,omitempty"`
+	// Step is the step index (step events only). A pointer so step 0
+	// round-trips: omitempty on a plain int would drop it.
+	Step *int `json:"step,omitempty"`
+	// File is the file the step accessed (step events only); pointer for
+	// the same reason — file 0 is a real file.
+	File *int `json:"file,omitempty"`
 	// Write marks writing steps (step events only).
 	Write bool `json:"write,omitempty"`
 	// RTms is the response time in milliseconds (commit events only).
@@ -35,6 +37,44 @@ type Event struct {
 	Cost float64 `json:"cost,omitempty"`
 	// Restarts is the transaction's restart count (commit/restart events).
 	Restarts int `json:"restarts,omitempty"`
+	// Node is the data-processing node of a fault event; a pointer so
+	// node 0 round-trips.
+	Node *int `json:"node,omitempty"`
+	// Fault is the fault kind ("crash", "restore", "slow", "slowend",
+	// "msgloss"; fault events only).
+	Fault string `json:"fault,omitempty"`
+	// Reason is why a fault aborted the transaction ("crash", "timeout";
+	// abort events only).
+	Reason string `json:"reason,omitempty"`
+	// Attempt is the 1-based re-dispatch attempt (retry events only).
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// ptr returns a pointer to v (for the pointer-typed Event fields).
+func ptr(v int) *int { return &v }
+
+// StepIndex returns the step index, or -1 when absent.
+func (e Event) StepIndex() int {
+	if e.Step == nil {
+		return -1
+	}
+	return *e.Step
+}
+
+// FileID returns the accessed file, or -1 when absent.
+func (e Event) FileID() int {
+	if e.File == nil {
+		return -1
+	}
+	return *e.File
+}
+
+// NodeID returns the fault's node, or -1 when absent.
+func (e Event) NodeID() int {
+	if e.Node == nil {
+		return -1
+	}
+	return *e.Node
 }
 
 // Writer streams events to an io.Writer as JSONL. Create with NewWriter
@@ -68,7 +108,7 @@ func (t *Writer) StepDone(txn *model.Txn, step int, at sim.Time) {
 	st := txn.Steps[step]
 	t.emit(Event{
 		At: at.Milliseconds(), Kind: "step", Txn: txn.ID,
-		Step: step, File: int(st.File), Write: st.Write,
+		Step: ptr(step), File: ptr(int(st.File)), Write: st.Write,
 	})
 }
 
@@ -84,6 +124,21 @@ func (t *Writer) Committed(txn *model.Txn, at sim.Time) {
 // Restarted implements machine.Observer.
 func (t *Writer) Restarted(txn *model.Txn, at sim.Time) {
 	t.emit(Event{At: at.Milliseconds(), Kind: "restart", Txn: txn.ID, Restarts: txn.Restarts})
+}
+
+// Fault implements machine.FaultObserver.
+func (t *Writer) Fault(kind string, node int, at sim.Time) {
+	t.emit(Event{At: at.Milliseconds(), Kind: "fault", Fault: kind, Node: ptr(node)})
+}
+
+// AbortedTxn implements machine.FaultObserver.
+func (t *Writer) AbortedTxn(txn *model.Txn, reason string, at sim.Time) {
+	t.emit(Event{At: at.Milliseconds(), Kind: "abort", Txn: txn.ID, Reason: reason, Restarts: txn.Restarts})
+}
+
+// Retried implements machine.FaultObserver.
+func (t *Writer) Retried(txn *model.Txn, attempt int, at sim.Time) {
+	t.emit(Event{At: at.Milliseconds(), Kind: "retry", Txn: txn.ID, Attempt: attempt})
 }
 
 // Events returns the number of events emitted so far.
@@ -145,5 +200,41 @@ func (m Multi) Committed(t *model.Txn, at sim.Time) {
 func (m Multi) Restarted(t *model.Txn, at sim.Time) {
 	for _, o := range m {
 		o.Restarted(t, at)
+	}
+}
+
+// faultObserver is the subset of machine.FaultObserver trace needs
+// (redeclared for the same layering reason as observer).
+type faultObserver interface {
+	Fault(kind string, node int, at sim.Time)
+	AbortedTxn(t *model.Txn, reason string, at sim.Time)
+	Retried(t *model.Txn, attempt int, at sim.Time)
+}
+
+// Fault implements machine.FaultObserver, forwarding to the members that
+// understand fault events.
+func (m Multi) Fault(kind string, node int, at sim.Time) {
+	for _, o := range m {
+		if fo, ok := o.(faultObserver); ok {
+			fo.Fault(kind, node, at)
+		}
+	}
+}
+
+// AbortedTxn implements machine.FaultObserver.
+func (m Multi) AbortedTxn(t *model.Txn, reason string, at sim.Time) {
+	for _, o := range m {
+		if fo, ok := o.(faultObserver); ok {
+			fo.AbortedTxn(t, reason, at)
+		}
+	}
+}
+
+// Retried implements machine.FaultObserver.
+func (m Multi) Retried(t *model.Txn, attempt int, at sim.Time) {
+	for _, o := range m {
+		if fo, ok := o.(faultObserver); ok {
+			fo.Retried(t, attempt, at)
+		}
 	}
 }

@@ -40,17 +40,87 @@ func TestWriterRoundTrip(t *testing.T) {
 	if len(events) != 4 {
 		t.Fatalf("read %d events", len(events))
 	}
-	if events[0].Kind != "step" || events[0].File != 3 || events[0].Write {
+	if events[0].Kind != "step" || events[0].FileID() != 3 || events[0].Write {
 		t.Errorf("event 0 = %+v", events[0])
 	}
 	if events[1].Kind != "restart" || events[1].Txn != 7 {
 		t.Errorf("event 1 = %+v", events[1])
 	}
-	if events[2].Kind != "step" || !events[2].Write || events[2].Step != 1 {
+	if events[2].Kind != "step" || !events[2].Write || events[2].StepIndex() != 1 {
 		t.Errorf("event 2 = %+v", events[2])
 	}
 	if events[3].Kind != "commit" || events[3].RTms != 5100 || events[3].Restarts != 1 {
 		t.Errorf("event 3 = %+v", events[3])
+	}
+}
+
+// TestZeroValuesRoundTrip: step index 0 on file 0 must survive the JSON
+// round trip — with omitempty on plain ints both were silently dropped and
+// read back as garbage.
+func TestZeroValuesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	txn := model.NewTxn(1, 0, []model.Step{
+		{File: 0, Write: true, LockMode: model.X, Cost: 1, DeclaredCost: 1},
+	})
+	w.StepDone(txn, 0, 100*sim.Millisecond)
+	w.Fault("crash", 0, 200*sim.Millisecond)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events, want 2", len(events))
+	}
+	step := events[0]
+	if step.Step == nil || *step.Step != 0 {
+		t.Errorf("step index 0 lost in round trip: %+v", step)
+	}
+	if step.File == nil || *step.File != 0 {
+		t.Errorf("file 0 lost in round trip: %+v", step)
+	}
+	fault := events[1]
+	if fault.Kind != "fault" || fault.Fault != "crash" || fault.NodeID() != 0 {
+		t.Errorf("fault on node 0 lost in round trip: %+v", fault)
+	}
+	// Absent fields stay distinguishable from zero values.
+	if fault.StepIndex() != -1 || fault.FileID() != -1 || step.NodeID() != -1 {
+		t.Errorf("absent pointer fields must read back as nil")
+	}
+}
+
+// TestFaultEventsRoundTrip covers the fault/abort/retry kinds end to end.
+func TestFaultEventsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	txn := model.NewTxn(9, 0, []model.Step{
+		{File: 2, Write: true, LockMode: model.X, Cost: 1, DeclaredCost: 1},
+	})
+	w.Fault("slow", 5, 10*sim.Millisecond)
+	w.Retried(txn, 1, 20*sim.Millisecond)
+	txn.Restarts = 1
+	w.AbortedTxn(txn, "timeout", 30*sim.Millisecond)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("read %d events, want 3", len(events))
+	}
+	if events[0].Kind != "fault" || events[0].Fault != "slow" || events[0].NodeID() != 5 {
+		t.Errorf("fault event = %+v", events[0])
+	}
+	if events[1].Kind != "retry" || events[1].Txn != 9 || events[1].Attempt != 1 {
+		t.Errorf("retry event = %+v", events[1])
+	}
+	if events[2].Kind != "abort" || events[2].Reason != "timeout" || events[2].Restarts != 1 {
+		t.Errorf("abort event = %+v", events[2])
 	}
 }
 
