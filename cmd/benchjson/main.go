@@ -1,0 +1,164 @@
+// Command benchjson records `go test -bench` results as a named snapshot in
+// a tracked JSON baseline (BENCH_core.json), so performance changes are
+// reviewable in diffs instead of buried in CI logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkRun -benchtime 5x -benchmem . |
+//	    go run ./cmd/benchjson -snapshot post -out BENCH_core.json
+//
+// It parses standard benchmark output lines (name, iterations, ns/op and —
+// with -benchmem — B/op and allocs/op), merges the snapshot into the
+// existing file, and whenever both a "pre" and a "post" snapshot are present
+// recomputes the speedup section (time and allocation ratios pre/post).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+type snapshot struct {
+	Note    string                 `json:"note,omitempty"`
+	Benches map[string]benchResult `json:"benches"`
+}
+
+type speedup struct {
+	Time   float64 `json:"time"`
+	Allocs float64 `json:"allocs,omitempty"`
+}
+
+type baseline struct {
+	Description string              `json:"description"`
+	Snapshots   map[string]snapshot `json:"snapshots"`
+	// Speedup maps benchmark name -> pre/post ratios (>1 means post is
+	// faster / allocates less). Present only when both snapshots exist.
+	Speedup map[string]speedup `json:"speedup,omitempty"`
+}
+
+func parseBench(r *bufio.Scanner) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.Contains(line, "ns/op") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 { // strip -GOMAXPROCS
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var br benchResult
+		var err error
+		if br.Iterations, err = strconv.Atoi(f[1]); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				br.NsPerOp = v
+			case "B/op":
+				br.BytesPerOp = v
+			case "allocs/op":
+				br.AllocsPerOp = v
+			}
+		}
+		if br.NsPerOp == 0 {
+			return nil, fmt.Errorf("benchjson: no ns/op on line %q", line)
+		}
+		out[strings.TrimPrefix(name, "Benchmark")] = br
+	}
+	return out, r.Err()
+}
+
+func main() {
+	name := flag.String("snapshot", "post", "snapshot name to record (e.g. pre, post)")
+	note := flag.String("note", "", "free-form note stored with the snapshot")
+	out := flag.String("out", "BENCH_core.json", "baseline file to update")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	benches, err := parseBench(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	bl := baseline{
+		Description: "Tracked core benchmark baseline (see DESIGN.md); regenerate with cmd/benchjson.",
+		Snapshots:   map[string]snapshot{},
+	}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &bl); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if bl.Snapshots == nil {
+		bl.Snapshots = map[string]snapshot{}
+	}
+	bl.Snapshots[*name] = snapshot{Note: *note, Benches: benches}
+
+	pre, okPre := bl.Snapshots["pre"]
+	post, okPost := bl.Snapshots["post"]
+	if okPre && okPost {
+		bl.Speedup = map[string]speedup{}
+		names := make([]string, 0, len(pre.Benches))
+		for n := range pre.Benches {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			p, ok := post.Benches[n]
+			if !ok || p.NsPerOp == 0 {
+				continue
+			}
+			s := speedup{Time: round2(pre.Benches[n].NsPerOp / p.NsPerOp)}
+			if p.AllocsPerOp > 0 {
+				s.Allocs = round2(pre.Benches[n].AllocsPerOp / p.AllocsPerOp)
+			}
+			bl.Speedup[n] = s
+		}
+	}
+
+	data, err := json.MarshalIndent(&bl, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: recorded %d benchmarks into snapshot %q of %s\n", len(benches), *name, *out)
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}

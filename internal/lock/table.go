@@ -10,48 +10,119 @@ import (
 	"batchsched/internal/model"
 )
 
+// holders is the holder set of one file: parallel slices sorted ascending by
+// transaction ID. Holder sets are tiny (readers of a hot file), so sorted
+// insertion beats a map and keeps every read deterministic without a
+// per-call sort-and-allocate.
+type holders struct {
+	ids   []int64
+	modes []model.Mode
+}
+
+func (h *holders) find(txn int64) int {
+	return sort.Search(len(h.ids), func(i int) bool { return h.ids[i] >= txn })
+}
+
+func (h *holders) insert(txn int64, mode model.Mode) {
+	i := h.find(txn)
+	if i < len(h.ids) && h.ids[i] == txn {
+		h.modes[i] = mode
+		return
+	}
+	h.ids = append(h.ids, 0)
+	copy(h.ids[i+1:], h.ids[i:])
+	h.ids[i] = txn
+	h.modes = append(h.modes, 0)
+	copy(h.modes[i+1:], h.modes[i:])
+	h.modes[i] = mode
+}
+
+func (h *holders) remove(txn int64) {
+	i := h.find(txn)
+	if i < len(h.ids) && h.ids[i] == txn {
+		h.ids = append(h.ids[:i], h.ids[i+1:]...)
+		h.modes = append(h.modes[:i], h.modes[i+1:]...)
+	}
+}
+
+// heldFiles is the lock set of one transaction: parallel slices sorted
+// ascending by file ID.
+type heldFiles struct {
+	files []model.FileID
+	modes []model.Mode
+}
+
+func (h *heldFiles) find(file model.FileID) int {
+	return sort.Search(len(h.files), func(i int) bool { return h.files[i] >= file })
+}
+
+func (h *heldFiles) insert(file model.FileID, mode model.Mode) {
+	i := h.find(file)
+	if i < len(h.files) && h.files[i] == file {
+		h.modes[i] = mode
+		return
+	}
+	h.files = append(h.files, 0)
+	copy(h.files[i+1:], h.files[i:])
+	h.files[i] = file
+	h.modes = append(h.modes, 0)
+	copy(h.modes[i+1:], h.modes[i:])
+	h.modes[i] = mode
+}
+
 // Table maps each file to its current lock holders. The zero value is not
 // usable; call NewTable.
+//
+// Holders, HeldBy and ReleaseAll return slices owned by the table, always in
+// ascending order: they are valid until the table's next mutation and must
+// not be modified. Callers that need to retain results across Grant/Release
+// calls must copy.
 type Table struct {
-	files map[model.FileID]map[int64]model.Mode
-	held  map[int64]map[model.FileID]model.Mode
+	files  map[model.FileID]*holders
+	held   map[int64]*heldFiles
+	locked int // files with >= 1 holder (file entries persist when emptied)
+	pool   []*heldFiles
 }
 
 // NewTable returns an empty lock table.
 func NewTable() *Table {
 	return &Table{
-		files: make(map[model.FileID]map[int64]model.Mode),
-		held:  make(map[int64]map[model.FileID]model.Mode),
+		files: make(map[model.FileID]*holders),
+		held:  make(map[int64]*heldFiles),
 	}
 }
 
 // Holds returns the mode transaction txn currently holds on file, if any.
 func (t *Table) Holds(txn int64, file model.FileID) (model.Mode, bool) {
-	m, ok := t.held[txn][file]
-	return m, ok
+	hf, ok := t.held[txn]
+	if !ok {
+		return 0, false
+	}
+	i := hf.find(file)
+	if i < len(hf.files) && hf.files[i] == file {
+		return hf.modes[i], true
+	}
+	return 0, false
 }
 
 // Holders returns the transactions holding a lock on file, in ascending ID
-// order.
+// order. The slice is owned by the table; see the Table contract.
 func (t *Table) Holders(file model.FileID) []int64 {
-	hs := t.files[file]
-	out := make([]int64, 0, len(hs))
-	for id := range hs {
-		out = append(out, id)
+	h, ok := t.files[file]
+	if !ok {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return h.ids
 }
 
-// HeldBy returns the files transaction txn holds locks on, ascending.
+// HeldBy returns the files transaction txn holds locks on, ascending. The
+// slice is owned by the table; see the Table contract.
 func (t *Table) HeldBy(txn int64) []model.FileID {
-	fs := t.held[txn]
-	out := make([]model.FileID, 0, len(fs))
-	for f := range fs {
-		out = append(out, f)
+	hf, ok := t.held[txn]
+	if !ok {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return hf.files
 }
 
 // CanGrant reports whether txn could be granted mode on file right now:
@@ -64,11 +135,15 @@ func (t *Table) CanGrant(txn int64, file model.FileID, mode model.Mode) bool {
 			return true // already strong enough
 		}
 	}
-	for id, m := range t.files[file] {
+	h, ok := t.files[file]
+	if !ok {
+		return true
+	}
+	for i, id := range h.ids {
 		if id == txn {
 			continue
 		}
-		if !m.Compatible(mode) {
+		if !h.modes[i].Compatible(mode) {
 			return false
 		}
 	}
@@ -81,33 +156,56 @@ func (t *Table) CanGrant(txn int64, file model.FileID, mode model.Mode) bool {
 func (t *Table) Grant(txn int64, file model.FileID, mode model.Mode) {
 	if !t.CanGrant(txn, file, mode) {
 		panic(fmt.Sprintf("lock: incompatible grant txn=%d file=%d mode=%v holders=%v",
-			txn, file, mode, t.files[file]))
+			txn, file, mode, t.Holders(file)))
 	}
 	if cur, ok := t.Holds(txn, file); ok && cur == model.X {
 		return // keep the stronger mode
 	}
-	if t.files[file] == nil {
-		t.files[file] = make(map[int64]model.Mode)
+	h, ok := t.files[file]
+	if !ok {
+		h = &holders{}
+		t.files[file] = h
 	}
-	if t.held[txn] == nil {
-		t.held[txn] = make(map[model.FileID]model.Mode)
+	if len(h.ids) == 0 {
+		t.locked++
 	}
-	t.files[file][txn] = mode
-	t.held[txn][file] = mode
+	h.insert(txn, mode)
+	hf, ok := t.held[txn]
+	if !ok {
+		if n := len(t.pool); n > 0 {
+			hf = t.pool[n-1]
+			t.pool[n-1] = nil
+			t.pool = t.pool[:n-1]
+		} else {
+			hf = &heldFiles{}
+		}
+		t.held[txn] = hf
+	}
+	hf.insert(file, mode)
 }
 
 // ReleaseAll drops every lock txn holds (commit-time release under strict
-// locking) and returns the freed files in ascending order.
+// locking) and returns the freed files in ascending order. The slice is
+// owned by the table; see the Table contract.
 func (t *Table) ReleaseAll(txn int64) []model.FileID {
-	files := t.HeldBy(txn)
-	for _, f := range files {
-		delete(t.files[f], txn)
-		if len(t.files[f]) == 0 {
-			delete(t.files, f)
+	hf, ok := t.held[txn]
+	if !ok {
+		return nil
+	}
+	for _, f := range hf.files {
+		h := t.files[f]
+		h.remove(txn)
+		if len(h.ids) == 0 {
+			t.locked-- // keep the empty entry for reuse
 		}
 	}
 	delete(t.held, txn)
-	return files
+	files := hf.files
+	hf.files = hf.files[:0]
+	hf.modes = hf.modes[:0]
+	t.pool = append(t.pool, hf)
+	// files aliases the pooled slice's old backing; hand it out full-length.
+	return files[:len(files):len(files)]
 }
 
 // CanGrantAll reports whether every (file, mode) need could be granted to
@@ -136,4 +234,4 @@ func (t *Table) GrantAll(txn int64, need map[model.FileID]model.Mode) {
 }
 
 // LockedFiles returns how many files currently have at least one holder.
-func (t *Table) LockedFiles() int { return len(t.files) }
+func (t *Table) LockedFiles() int { return t.locked }

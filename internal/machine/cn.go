@@ -5,10 +5,59 @@ import (
 	"batchsched/internal/sim"
 )
 
-// cnJob is one unit of control-node work. It runs when the CPU picks it up,
-// returns the CPU time the decision consumed, and a continuation to run
-// when that CPU time has elapsed (nil for none).
-type cnJob func() (cpu sim.Time, done func())
+// cnOp names a control-node job body; cnContOp names its continuation. The
+// bodies and continuations live as Machine methods (cnBody, cnFinish), so a
+// queued job is a small value instead of a pair of heap-allocated closures —
+// the CN runs one job per scheduler decision and per message, which makes
+// this the hottest allocation site of a run.
+type cnOp uint8
+
+const (
+	opClosure  cnOp = iota // job.fn carries the body (tests, rare paths)
+	opAdmit                // admission test for job.e
+	opRequest              // lock request for job.e's current step
+	opDispatch             // CN send of job.e's granted step (job.attempt)
+	opStepDone             // CN receive of job.run's completion
+	opCommit               // validation + commitment of job.e
+)
+
+type cnContOp uint8
+
+const (
+	contNone     cnContOp = iota
+	contClosure           // cont.fn carries the continuation
+	contPark              // admission failed: park job.e
+	contStart             // admitted: proceed to the first step
+	contExec              // granted: execute the step
+	contBlock             // blocked: wait on the step file's release
+	contDelay             // policy-delayed: wait for a wake-up
+	contAbort             // deadlock victim: roll back and restart
+	contDispatch          // send done: place the step's cohorts
+	contStepDone          // receive done: advance to the next step
+	contCommitOK
+	contCommitFail
+)
+
+// cnJob is one unit of control-node work: either an op code with its
+// operands (dispatched through Machine.cnBody), or — for tests and generic
+// callers — a closure body returning the CPU time the decision consumed and
+// a continuation to run when that CPU time has elapsed (nil for none).
+type cnJob struct {
+	op      cnOp
+	fn      func() (sim.Time, func())
+	e       *exec
+	run     *stepRun
+	attempt int
+}
+
+// cnCont is a job body's continuation, run after the decision's CPU time.
+type cnCont struct {
+	op      cnContOp
+	fn      func()
+	e       *exec
+	run     *stepRun
+	attempt int
+}
 
 // controlNode is the single FCFS CPU of the control node: scheduler
 // decisions, startup/commit coordination and message handling all queue
@@ -17,13 +66,35 @@ type cnJob func() (cpu sim.Time, done func())
 type controlNode struct {
 	eng  *sim.Engine
 	met  *metrics.Collector
+	m    *Machine // body/continuation dispatcher; nil in CN-only tests
 	busy bool
 	q    []cnJob
 	head int
+
+	// In-flight job state. The CN is a single serial server, so at most one
+	// completion is outstanding; onDone is bound once so finishing a job
+	// schedules no fresh closure.
+	curCPU  sim.Time
+	curCont cnCont
+	onDone  sim.Handler
 }
 
 func newControlNode(eng *sim.Engine, met *metrics.Collector) *controlNode {
-	return &controlNode{eng: eng, met: met}
+	c := &controlNode{eng: eng, met: met}
+	c.onDone = func(sim.Time) {
+		c.met.CNBusy(c.curCPU)
+		cont := c.curCont
+		c.curCont = cnCont{}
+		switch cont.op {
+		case contNone:
+		case contClosure:
+			cont.fn()
+		default:
+			c.m.cnFinish(cont)
+		}
+		c.next()
+	}
+	return c
 }
 
 // submit enqueues a job; the CPU starts it as soon as it is free.
@@ -46,22 +117,28 @@ func (c *controlNode) next() {
 		return
 	}
 	job := c.q[c.head]
-	c.q[c.head] = nil
+	c.q[c.head] = cnJob{}
 	c.head++
 	// Reclaim drained prefix occasionally to bound memory.
 	if c.head > 1024 && c.head*2 > len(c.q) {
 		c.q = append(c.q[:0], c.q[c.head:]...)
 		c.head = 0
 	}
-	cpu, done := job()
+	var cpu sim.Time
+	var cont cnCont
+	if job.op == opClosure {
+		var done func()
+		cpu, done = job.fn()
+		if done != nil {
+			cont = cnCont{op: contClosure, fn: done}
+		}
+	} else {
+		cpu, cont = c.m.cnBody(job)
+	}
 	if cpu < 0 {
 		panic("machine: negative CN CPU time")
 	}
-	c.eng.Schedule(cpu, func(sim.Time) {
-		c.met.CNBusy(cpu)
-		if done != nil {
-			done()
-		}
-		c.next()
-	})
+	c.curCPU = cpu
+	c.curCont = cont
+	c.eng.Schedule(cpu, c.onDone)
 }

@@ -14,20 +14,20 @@ func TestControlNodeFIFOAndBusyTime(t *testing.T) {
 
 	var order []string
 	var tASeen, tBSeen sim.Time
-	cn.submit(func() (sim.Time, func()) {
+	cn.submit(cnJob{fn: func() (sim.Time, func()) {
 		order = append(order, "a-start")
 		return 10 * sim.Millisecond, func() {
 			tASeen = eng.Now()
 			order = append(order, "a-done")
 		}
-	})
-	cn.submit(func() (sim.Time, func()) {
+	}})
+	cn.submit(cnJob{fn: func() (sim.Time, func()) {
 		order = append(order, "b-start")
 		return 5 * sim.Millisecond, func() {
 			tBSeen = eng.Now()
 			order = append(order, "b-done")
 		}
-	})
+	}})
 	if cn.queueLen() != 1 {
 		t.Errorf("queueLen = %d, want 1 (one running, one queued)", cn.queueLen())
 	}
@@ -52,7 +52,7 @@ func TestControlNodeZeroCostJobs(t *testing.T) {
 	cn := newControlNode(eng, metrics.NewCollector(0, 0))
 	ran := 0
 	for i := 0; i < 2000; i++ {
-		cn.submit(func() (sim.Time, func()) { return 0, func() { ran++ } })
+		cn.submit(cnJob{fn: func() (sim.Time, func()) { return 0, func() { ran++ } }})
 	}
 	eng.Run(sim.Second)
 	if ran != 2000 {
@@ -67,14 +67,14 @@ func TestControlNodeJobsSubmittedDuringService(t *testing.T) {
 	eng := sim.NewEngine()
 	cn := newControlNode(eng, metrics.NewCollector(0, 0))
 	var done []sim.Time
-	cn.submit(func() (sim.Time, func()) {
+	cn.submit(cnJob{fn: func() (sim.Time, func()) {
 		return 4 * sim.Millisecond, func() {
 			done = append(done, eng.Now())
-			cn.submit(func() (sim.Time, func()) {
+			cn.submit(cnJob{fn: func() (sim.Time, func()) {
 				return 6 * sim.Millisecond, func() { done = append(done, eng.Now()) }
-			})
+			}})
 		}
-	})
+	}})
 	eng.Run(sim.Second)
 	if len(done) != 2 || done[0] != 4*sim.Millisecond || done[1] != 10*sim.Millisecond {
 		t.Errorf("done = %v, want [4ms 10ms]", done)
@@ -89,7 +89,7 @@ func TestControlNodePanicsOnNegativeCPU(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	cn.submit(func() (sim.Time, func()) { return -1, nil })
+	cn.submit(cnJob{fn: func() (sim.Time, func()) { return -1, nil }})
 	eng.Run(sim.Second)
 }
 

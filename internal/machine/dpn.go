@@ -11,10 +11,15 @@ import (
 type cohort struct {
 	remaining sim.Time
 	quantum   sim.Time
-	done      func()
+	// done, when set, is called on completion (tests and custom drivers);
+	// machine-owned cohorts leave it nil and complete through dpn.complete.
+	done func()
 	// run ties the cohort back to its step dispatch so a node crash can
-	// abort the owning transaction; nil in fault-free runs and tests.
+	// abort the owning transaction; nil in tests.
 	run *stepRun
+	// node is the DPN the cohort is addressed to (used by the delivery
+	// event); nil in tests that call dpn.add directly.
+	node *dpn
 	// dead marks a cohort whose transaction aborted (crash on a sibling
 	// node, or step retry); the serving node drops it without calling done.
 	dead bool
@@ -40,10 +45,43 @@ type dpn struct {
 	// pending is the in-progress quantum's completion event, kept so a
 	// crash can cancel it.
 	pending *sim.Event
+
+	// complete receives cohorts that finish with a nil done callback (set by
+	// the machine). curSlice/curElapsed describe the quantum in progress;
+	// onQuantum is the pre-bound completion handler — the node is a single
+	// server, so exactly one quantum is outstanding and per-quantum state
+	// can live on the node instead of in a per-event closure.
+	complete   func(*cohort)
+	curSlice   sim.Time
+	curElapsed sim.Time
+	onQuantum  sim.Handler
 }
 
 func newDPN(id int, eng *sim.Engine, met *metrics.Collector) *dpn {
-	return &dpn{id: id, eng: eng, met: met}
+	d := &dpn{id: id, eng: eng, met: met}
+	d.onQuantum = func(sim.Time) {
+		d.pending = nil
+		d.met.DPNBusy(d.id, d.curElapsed)
+		c := d.ring[d.cur]
+		if c.dead {
+			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
+			d.serve()
+			return
+		}
+		c.remaining -= d.curSlice
+		if c.remaining <= 0 {
+			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
+			if c.done != nil {
+				c.done()
+			} else if d.complete != nil {
+				d.complete(c)
+			}
+		} else {
+			d.cur++
+		}
+		d.serve()
+	}
+	return d
 }
 
 // add registers a cohort; service starts immediately if the node was idle.
@@ -116,23 +154,10 @@ func (d *dpn) serve() {
 	if d.slow > 1 {
 		elapsed = sim.Time(float64(slice) * d.slow)
 	}
-	d.pending = d.eng.Schedule(elapsed, func(sim.Time) {
-		d.pending = nil
-		d.met.DPNBusy(d.id, elapsed)
-		if c.dead {
-			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
-			d.serve()
-			return
-		}
-		c.remaining -= slice
-		if c.remaining <= 0 {
-			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
-			if c.done != nil {
-				c.done()
-			}
-		} else {
-			d.cur++
-		}
-		d.serve()
-	})
+	// The cohort under service stays at d.cur until the quantum completes:
+	// arrivals append behind it and nothing else advances the cursor, so the
+	// handler re-reads it from the ring.
+	d.curSlice = slice
+	d.curElapsed = elapsed
+	d.pending = d.eng.Schedule(elapsed, d.onQuantum)
 }

@@ -110,12 +110,7 @@ func (m *Machine) msgDelay() sim.Time {
 // timer bookkeeping is needed on the (common) healthy path and the
 // failure-free event sequence is untouched.
 func (m *Machine) armTimeout(run *stepRun) {
-	m.eng.Schedule(m.inj.Timeout(), func(sim.Time) {
-		if run.dead {
-			return
-		}
-		m.stepTimeout(run)
-	})
+	m.eng.SchedulePayload(m.inj.Timeout(), m.onTimeout, run)
 }
 
 // stepTimeout retires the timed-out attempt and either re-dispatches the

@@ -2,7 +2,6 @@ package machine
 
 import (
 	"fmt"
-	"sort"
 
 	"batchsched/internal/fault"
 	"batchsched/internal/metrics"
@@ -74,6 +73,14 @@ type Machine struct {
 	admitQ    []*exec
 	blocked   map[model.FileID][]*exec
 	delayed   []*exec
+
+	// Pre-bound event handlers: recurring events carry their state in a
+	// pointer payload instead of a per-event closure.
+	onArrival    sim.Handler
+	onDeliver    sim.PayloadHandler // arg: *cohort
+	onStepReturn sim.PayloadHandler // arg: *stepRun
+	onRetryAdmit sim.PayloadHandler // arg: *exec
+	onTimeout    sim.PayloadHandler // arg: *stepRun
 }
 
 // New builds a machine. The scheduler must be fresh (one per run); rng
@@ -99,9 +106,26 @@ func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, 
 		workloadRNG: rng.Stream("workload"),
 		blocked:     make(map[model.FileID][]*exec),
 	}
+	m.cn.m = m
 	m.dpns = make([]*dpn, cfg.NumNodes)
 	for i := range m.dpns {
 		m.dpns[i] = newDPN(i, eng, met)
+		m.dpns[i].complete = m.cohortFinished
+	}
+	m.onArrival = func(sim.Time) {
+		steps := m.gen.Steps(m.workloadRNG)
+		m.Submit(steps)
+		m.scheduleNextArrival()
+	}
+	m.onDeliver = func(_ sim.Time, arg any) { m.deliverCohort(arg.(*cohort)) }
+	m.onStepReturn = func(_ sim.Time, arg any) { m.stepReturn(arg.(*stepRun)) }
+	m.onRetryAdmit = func(_ sim.Time, arg any) { m.tryAdmit(arg.(*exec)) }
+	m.onTimeout = func(_ sim.Time, arg any) {
+		run := arg.(*stepRun)
+		if run.dead {
+			return
+		}
+		m.stepTimeout(run)
 	}
 	if la, ok := s.(sched.LoadAware); ok {
 		la.SetLoadProbe(m.fileLoad)
@@ -156,11 +180,7 @@ func (m *Machine) Run() metrics.Summary {
 
 func (m *Machine) scheduleNextArrival() {
 	gap := m.arrivalRNG.ExpTime(m.cfg.ArrivalRate)
-	m.eng.Schedule(gap, func(sim.Time) {
-		steps := m.gen.Steps(m.workloadRNG)
-		m.Submit(steps)
-		m.scheduleNextArrival()
-	})
+	m.eng.Schedule(gap, m.onArrival)
 }
 
 func (m *Machine) arrive(t *model.Txn) {
@@ -173,29 +193,32 @@ func (m *Machine) arrive(t *model.Txn) {
 // transaction; it is retried after the next commit.
 func (m *Machine) tryAdmit(e *exec) {
 	e.phase = phAtCN
-	m.cn.submit(func() (sim.Time, func()) {
-		if m.cfg.MPL > 0 && m.active >= m.cfg.MPL && !e.admitted {
-			return 0, func() { m.parkAdmit(e) }
-		}
-		ok, cpu := m.sch.Admit(e.txn)
-		if e.admitCharged && !m.cfg.ChargeRetryCPU {
-			// Retried admission tests are batch-evaluated for free (see
-			// DESIGN.md substitution notes); only the first attempt pays.
-			cpu = 0
-		}
-		e.admitCharged = true
-		if !ok {
-			m.met.AdmissionReject()
-			e.txn.AdmissionTries++
-			return cpu, func() { m.parkAdmit(e) }
-		}
-		if !e.admitted {
-			e.admitted = true
-			m.active++
-		}
-		e.txn.Status = model.Active
-		return cpu + m.cfg.SOTTime, func() { m.nextStep(e) }
-	})
+	m.cn.submit(cnJob{op: opAdmit, e: e})
+}
+
+// admitBody is the opAdmit job body.
+func (m *Machine) admitBody(e *exec) (sim.Time, cnCont) {
+	if m.cfg.MPL > 0 && m.active >= m.cfg.MPL && !e.admitted {
+		return 0, cnCont{op: contPark, e: e}
+	}
+	ok, cpu := m.sch.Admit(e.txn)
+	if e.admitCharged && !m.cfg.ChargeRetryCPU {
+		// Retried admission tests are batch-evaluated for free (see
+		// DESIGN.md substitution notes); only the first attempt pays.
+		cpu = 0
+	}
+	e.admitCharged = true
+	if !ok {
+		m.met.AdmissionReject()
+		e.txn.AdmissionTries++
+		return cpu, cnCont{op: contPark, e: e}
+	}
+	if !e.admitted {
+		e.admitted = true
+		m.active++
+	}
+	e.txn.Status = model.Active
+	return cpu + m.cfg.SOTTime, cnCont{op: contStart, e: e}
 }
 
 func (m *Machine) parkAdmit(e *exec) {
@@ -214,47 +237,98 @@ func (m *Machine) nextStep(e *exec) {
 
 func (m *Machine) requestLock(e *exec) {
 	e.phase = phAtCN
-	m.cn.submit(func() (sim.Time, func()) {
-		out := m.sch.Request(e.txn)
-		switch out.Decision {
-		case sched.Grant:
-			m.met.Granted()
-			return out.CPU, func() {
-				m.executeStep(e)
-				if !m.cfg.NoWakeOnGrant {
-					m.wakeDelayed() // a grant changes the scheduling state
-				}
-			}
-		case sched.Block:
-			m.met.Block()
-			file := e.txn.CurrentStep().File
-			return out.CPU, func() {
-				e.phase = phBlocked
-				m.blocked[file] = append(m.blocked[file], e)
-			}
-		case sched.Delay:
-			m.met.Delay()
-			return out.CPU, func() {
-				e.phase = phDelayed
-				m.delayed = append(m.delayed, e)
-			}
-		case sched.Abort:
-			// Deadlock victim (strict 2PL): roll back, release, restart.
-			m.met.Restart()
-			e.txn.Restarts++
-			return out.CPU, func() {
-				m.sch.Aborted(e.txn)
-				e.txn.StepIndex = 0
-				if m.obs != nil {
-					m.obs.Restarted(e.txn, m.eng.Now())
-				}
-				m.wakeCommit(e.txn) // its released locks may unblock others
-				m.restartAfterDelay(e)
-			}
-		default:
-			panic(fmt.Sprintf("machine: unexpected request decision %v", out.Decision))
+	m.cn.submit(cnJob{op: opRequest, e: e})
+}
+
+// requestBody is the opRequest job body. The continuations re-read the
+// current step where needed: the CN is serial, so no other job body or
+// continuation (the only mutators of StepIndex) can run in between.
+func (m *Machine) requestBody(e *exec) (sim.Time, cnCont) {
+	out := m.sch.Request(e.txn)
+	switch out.Decision {
+	case sched.Grant:
+		m.met.Granted()
+		return out.CPU, cnCont{op: contExec, e: e}
+	case sched.Block:
+		m.met.Block()
+		return out.CPU, cnCont{op: contBlock, e: e}
+	case sched.Delay:
+		m.met.Delay()
+		return out.CPU, cnCont{op: contDelay, e: e}
+	case sched.Abort:
+		// Deadlock victim (strict 2PL): roll back, release, restart.
+		m.met.Restart()
+		e.txn.Restarts++
+		return out.CPU, cnCont{op: contAbort, e: e}
+	default:
+		panic(fmt.Sprintf("machine: unexpected request decision %v", out.Decision))
+	}
+}
+
+// cnBody dispatches an op-coded control-node job body.
+func (m *Machine) cnBody(j cnJob) (sim.Time, cnCont) {
+	switch j.op {
+	case opAdmit:
+		return m.admitBody(j.e)
+	case opRequest:
+		return m.requestBody(j.e)
+	case opDispatch:
+		return m.cfg.MsgTime, cnCont{op: contDispatch, e: j.e, attempt: j.attempt}
+	case opStepDone:
+		return m.cfg.MsgTime, cnCont{op: contStepDone, e: j.e, run: j.run}
+	case opCommit:
+		return m.commitBody(j.e)
+	default:
+		panic(fmt.Sprintf("machine: unknown CN op %d", j.op))
+	}
+}
+
+// cnFinish dispatches an op-coded job continuation.
+func (m *Machine) cnFinish(c cnCont) {
+	switch c.op {
+	case contPark:
+		m.parkAdmit(c.e)
+	case contStart:
+		m.nextStep(c.e)
+	case contExec:
+		m.executeStep(c.e)
+		if !m.cfg.NoWakeOnGrant {
+			m.wakeDelayed() // a grant changes the scheduling state
 		}
-	})
+	case contBlock:
+		e := c.e
+		e.phase = phBlocked
+		file := e.txn.CurrentStep().File
+		m.blocked[file] = append(m.blocked[file], e)
+	case contDelay:
+		c.e.phase = phDelayed
+		m.delayed = append(m.delayed, c.e)
+	case contAbort:
+		e := c.e
+		m.sch.Aborted(e.txn)
+		e.txn.StepIndex = 0
+		if m.obs != nil {
+			m.obs.Restarted(e.txn, m.eng.Now())
+		}
+		m.wakeCommit(e.txn) // its released locks may unblock others
+		m.restartAfterDelay(e)
+	case contDispatch:
+		m.placeStep(c.e, c.attempt)
+	case contStepDone:
+		m.stepDone(c.run)
+	case contCommitOK:
+		m.commitFinish(c.e)
+	case contCommitFail:
+		e := c.e
+		m.sch.Aborted(e.txn)
+		e.txn.StepIndex = 0
+		if m.obs != nil {
+			m.obs.Restarted(e.txn, m.eng.Now())
+		}
+		m.restartAfterDelay(e) // re-admission restamps the attempt
+	default:
+		panic(fmt.Sprintf("machine: unknown CN continuation %d", c.op))
+	}
 }
 
 // executeStep runs the granted step: the CN sends the transaction to the
@@ -269,57 +343,60 @@ func (m *Machine) executeStep(e *exec) { m.dispatchStep(e, 0) }
 // partition node aborts the transaction; the failure-free path schedules
 // exactly the same events as before the fault subsystem existed.
 func (m *Machine) dispatchStep(e *exec, attempt int) {
+	m.cn.submit(cnJob{op: opDispatch, e: e, attempt: attempt})
+}
+
+// placeStep is the contDispatch continuation: the CN send is paid, the step
+// becomes cohorts on its nodes.
+func (m *Machine) placeStep(e *exec, attempt int) {
 	st := e.txn.CurrentStep()
-	m.cn.submit(func() (sim.Time, func()) {
-		return m.cfg.MsgTime, func() {
-			e.phase = phRunning
-			run := &stepRun{e: e, home: m.place.Home(st.File), attempt: attempt}
-			e.run = run
-			if m.inj != nil && m.inj.MsgLost() {
-				// The CN->DPN request vanished; the retry timer is the
-				// only way forward.
-				m.met.MsgLost()
-				m.faultEvent("msgloss", run.home)
-				m.armTimeout(run)
-				return
-			}
-			nodes := m.place.Nodes(st.File)
-			service := sim.Time(float64(m.cfg.ObjTime) * st.Cost / float64(m.cfg.DD))
-			quantum := m.cfg.ObjTime / sim.Time(m.cfg.DD)
-			if m.cfg.RunToCompletion {
-				// Ablation: FCFS cohort service — one quantum covers the
-				// whole scan.
-				quantum = service
-				if quantum <= 0 {
-					quantum = 1
-				}
-			}
-			run.pending = len(nodes)
-			for _, n := range nodes {
-				node := m.dpns[n]
-				c := &cohort{remaining: service, quantum: quantum, run: run}
-				c.done = func() { m.cohortDone(run) }
-				run.cohorts = append(run.cohorts, c)
-				m.eng.Schedule(m.msgDelay(), func(sim.Time) { m.deliverCohort(run, node, c) })
-			}
+	e.phase = phRunning
+	run := &stepRun{e: e, home: m.place.Home(st.File), attempt: attempt}
+	e.run = run
+	if m.inj != nil && m.inj.MsgLost() {
+		// The CN->DPN request vanished; the retry timer is the only way
+		// forward.
+		m.met.MsgLost()
+		m.faultEvent("msgloss", run.home)
+		m.armTimeout(run)
+		return
+	}
+	nodes := m.place.Nodes(st.File)
+	service := sim.Time(float64(m.cfg.ObjTime) * st.Cost / float64(m.cfg.DD))
+	quantum := m.cfg.ObjTime / sim.Time(m.cfg.DD)
+	if m.cfg.RunToCompletion {
+		// Ablation: FCFS cohort service — one quantum covers the whole
+		// scan.
+		quantum = service
+		if quantum <= 0 {
+			quantum = 1
 		}
-	})
+	}
+	run.pending = len(nodes)
+	for _, n := range nodes {
+		c := &cohort{remaining: service, quantum: quantum, run: run, node: m.dpns[n]}
+		run.cohorts = append(run.cohorts, c)
+		m.eng.SchedulePayload(m.msgDelay(), m.onDeliver, c)
+	}
 }
 
 // deliverCohort lands one cohort on its data-processing node. A delivery to
 // a down node means the step cannot proceed: the CN aborts the transaction
 // (in the real machine the commit protocol detects the dead participant).
-func (m *Machine) deliverCohort(run *stepRun, node *dpn, c *cohort) {
-	if run.dead {
+func (m *Machine) deliverCohort(c *cohort) {
+	if c.run.dead {
 		return
 	}
-	if node.down {
-		m.faultEvent("msgloss", node.id)
-		m.abortRun(run, "crash")
+	if c.node.down {
+		m.faultEvent("msgloss", c.node.id)
+		m.abortRun(c.run, "crash")
 		return
 	}
-	node.add(c)
+	c.node.add(c)
 }
+
+// cohortFinished is the DPN's completion callback for machine-owned cohorts.
+func (m *Machine) cohortFinished(c *cohort) { m.cohortDone(c.run) }
 
 // cohortDone counts down the attempt's cohorts; when the last finishes the
 // transaction flows back to the CN after the network delay and one receive
@@ -332,69 +409,74 @@ func (m *Machine) cohortDone(run *stepRun) {
 	if run.pending > 0 {
 		return
 	}
-	m.eng.Schedule(m.msgDelay(), func(sim.Time) {
-		if run.dead {
-			return
-		}
-		if m.inj != nil && m.inj.MsgLost() {
-			// The DPN->CN completion reply vanished; the CN will time out
-			// and re-execute the step.
-			m.met.MsgLost()
-			m.faultEvent("msgloss", run.home)
-			m.armTimeout(run)
-			return
-		}
-		e := run.e
-		m.cn.submit(func() (sim.Time, func()) {
-			return m.cfg.MsgTime, func() {
-				if run.dead {
-					return
-				}
-				e.run = nil
-				m.met.StepExecuted()
-				step := e.txn.StepIndex
-				e.txn.StepIndex++
-				if m.obs != nil {
-					m.obs.StepDone(e.txn, step, m.eng.Now())
-				}
-				m.nextStep(e)
-			}
-		})
-	})
+	m.eng.SchedulePayload(m.msgDelay(), m.onStepReturn, run)
+}
+
+// stepReturn receives the last cohort's completion back at the CN.
+func (m *Machine) stepReturn(run *stepRun) {
+	if run.dead {
+		return
+	}
+	if m.inj != nil && m.inj.MsgLost() {
+		// The DPN->CN completion reply vanished; the CN will time out and
+		// re-execute the step.
+		m.met.MsgLost()
+		m.faultEvent("msgloss", run.home)
+		m.armTimeout(run)
+		return
+	}
+	m.cn.submit(cnJob{op: opStepDone, e: run.e, run: run})
+}
+
+// stepDone is the contStepDone continuation: the CN receive is paid, the
+// transaction advances to its next step (or commit).
+func (m *Machine) stepDone(run *stepRun) {
+	if run.dead {
+		return
+	}
+	e := run.e
+	e.run = nil
+	m.met.StepExecuted()
+	step := e.txn.StepIndex
+	e.txn.StepIndex++
+	if m.obs != nil {
+		m.obs.StepDone(e.txn, step, m.eng.Now())
+	}
+	m.nextStep(e)
 }
 
 // commit coordinates two-phase commitment: validation (OPT certification),
 // then commit CPU, release, and a system-wide wake-up.
 func (m *Machine) commit(e *exec) {
 	e.phase = phAtCN
-	m.cn.submit(func() (sim.Time, func()) {
-		ok, vcpu := m.sch.Validate(e.txn)
-		if !ok {
-			m.met.Restart()
-			e.txn.Restarts++
-			return vcpu, func() {
-				m.sch.Aborted(e.txn)
-				e.txn.StepIndex = 0
-				if m.obs != nil {
-					m.obs.Restarted(e.txn, m.eng.Now())
-				}
-				m.restartAfterDelay(e) // re-admission restamps the attempt
-			}
-		}
-		return vcpu + m.cfg.COTTime, func() {
-			m.sch.Committed(e.txn)
-			e.txn.Status = model.Committed
-			e.phase = phFinished
-			m.active--
-			m.completed++
-			now := m.eng.Now()
-			m.met.Completion(now, now-e.txn.Arrival)
-			if m.obs != nil {
-				m.obs.Committed(e.txn, now)
-			}
-			m.wakeCommit(e.txn)
-		}
-	})
+	m.cn.submit(cnJob{op: opCommit, e: e})
+}
+
+// commitBody is the opCommit job body: validation decides between the
+// commit and the restart continuation.
+func (m *Machine) commitBody(e *exec) (sim.Time, cnCont) {
+	ok, vcpu := m.sch.Validate(e.txn)
+	if !ok {
+		m.met.Restart()
+		e.txn.Restarts++
+		return vcpu, cnCont{op: contCommitFail, e: e}
+	}
+	return vcpu + m.cfg.COTTime, cnCont{op: contCommitOK, e: e}
+}
+
+// commitFinish is the contCommitOK continuation.
+func (m *Machine) commitFinish(e *exec) {
+	m.sch.Committed(e.txn)
+	e.txn.Status = model.Committed
+	e.phase = phFinished
+	m.active--
+	m.completed++
+	now := m.eng.Now()
+	m.met.Completion(now, now-e.txn.Arrival)
+	if m.obs != nil {
+		m.obs.Committed(e.txn, now)
+	}
+	m.wakeCommit(e.txn)
 }
 
 // restartAfterDelay re-admits an aborted transaction, after the configured
@@ -405,19 +487,14 @@ func (m *Machine) restartAfterDelay(e *exec) {
 		return
 	}
 	e.phase = phAdmit
-	m.eng.Schedule(m.cfg.RestartDelay, func(sim.Time) { m.tryAdmit(e) })
+	m.eng.SchedulePayload(m.cfg.RestartDelay, m.onRetryAdmit, e)
 }
 
 // wakeCommit reconsiders everything a commit can unblock: requests blocked
 // on the released files, every policy-delayed request, and the pending
 // admissions (in FIFO order).
 func (m *Machine) wakeCommit(t *model.Txn) {
-	need := t.LockNeed()
-	files := make([]model.FileID, 0, len(need))
-	for f := range need {
-		files = append(files, f)
-	}
-	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	files, _ := t.LockNeedSorted()
 	for _, f := range files {
 		list := m.blocked[f]
 		if len(list) == 0 {

@@ -9,6 +9,7 @@ package model
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"batchsched/internal/sim"
@@ -126,9 +127,11 @@ type Txn struct {
 
 	// Lazily computed caches over the (immutable) declaration. Valid
 	// because Steps never change after construction.
-	need     map[FileID]Mode
-	readSet  map[FileID]bool
-	writeSet map[FileID]bool
+	need      map[FileID]Mode
+	needFiles []FileID // LockNeed as parallel slices sorted by file
+	needModes []Mode
+	readSet   map[FileID]bool
+	writeSet  map[FileID]bool
 }
 
 // NewTxn builds a transaction from steps; declared costs default to the
@@ -191,6 +194,38 @@ func (t *Txn) LockNeed() map[FileID]Mode {
 		t.need = need
 	}
 	return t.need
+}
+
+// LockNeedSorted returns LockNeed as parallel slices sorted ascending by
+// file ID, for allocation-free deterministic iteration. The slices are a
+// cache shared across calls — callers must not modify them.
+func (t *Txn) LockNeedSorted() ([]FileID, []Mode) {
+	if t.needFiles == nil {
+		need := t.LockNeed()
+		files := make([]FileID, 0, len(need))
+		for f := range need {
+			files = append(files, f)
+		}
+		sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+		modes := make([]Mode, len(files))
+		for i, f := range files {
+			modes[i] = need[f]
+		}
+		t.needFiles, t.needModes = files, modes
+	}
+	return t.needFiles, t.needModes
+}
+
+// NeedMode returns the strongest declared lock mode on f, if the
+// declaration touches f at all (binary search over the sorted need list —
+// cheaper than a map lookup on the scheduler hot paths).
+func (t *Txn) NeedMode(f FileID) (Mode, bool) {
+	files, modes := t.LockNeedSorted()
+	i := sort.Search(len(files), func(i int) bool { return files[i] >= f })
+	if i < len(files) && files[i] == f {
+		return modes[i], true
+	}
+	return 0, false
 }
 
 // ReadSet returns the files the transaction semantically reads. The

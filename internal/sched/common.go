@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"batchsched/internal/lock"
 	"batchsched/internal/model"
@@ -29,20 +28,15 @@ func holdsSufficient(locks *lock.Table, t *model.Txn) bool {
 // The orientations all point into the fresh sink t, so they can never close
 // a cycle; a failure here is a programming error and panics.
 func seedHolderOrder(g *wtpg.Graph, locks *lock.Table, t *model.Txn) {
-	need := t.LockNeed()
-	files := make([]model.FileID, 0, len(need))
-	for f := range need {
-		files = append(files, f)
-	}
-	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	files, modes := t.LockNeedSorted()
 	var pairs [][2]int64
-	for _, f := range files {
+	for i, f := range files {
 		for _, h := range locks.Holders(f) {
 			if h == t.ID || !g.Has(h) {
 				continue
 			}
 			hm, _ := locks.Holds(h, f)
-			if !hm.Compatible(need[f]) {
+			if !hm.Compatible(modes[i]) {
 				pairs = append(pairs, [2]int64{h, t.ID})
 			}
 		}

@@ -19,6 +19,7 @@ type gow struct {
 	p     Params
 	locks *lock.Table
 	graph *wtpg.Graph
+	plan  wtpg.Plan // reused across requests (Phase 2 scratch)
 }
 
 // NewGOW returns a Globally-Optimized WTPG scheduler.
@@ -62,21 +63,26 @@ func (s *gow) Request(t *model.Txn) Outcome {
 		return Outcome{Decision: Grant, CPU: s.p.DDTime}
 	}
 	// Phase 2: compute the globally optimized serializable order W
-	// (cost: chaintime).
+	// (cost: chaintime). The CPU charge is made regardless; the plan itself
+	// is only materialized when the grant would determine new orders, since
+	// with no pairs to test against W the computation cannot change the
+	// decision (it has no side effects on the graph).
 	cpu := s.p.ChainTime
-	plan, err := s.graph.OptimalChainOrientation(wtpg.RemainingDemand)
-	if err != nil {
-		panic(fmt.Sprintf("sched: GOW graph lost chain form: %v", err))
-	}
-	// Phase 3: the orders granting q would determine must agree with W.
 	pairs, err := s.graph.GrantOrientations(t, st.File, st.LockMode)
 	if err != nil {
 		return Outcome{Decision: Delay, CPU: cpu}
 	}
-	for _, pr := range pairs {
-		if ok, found := plan.Precedes(pr[1], pr[0]); found && ok {
-			// W wants the other transaction first; q is inconsistent.
-			return Outcome{Decision: Delay, CPU: cpu}
+	if len(pairs) > 0 {
+		plan := &s.plan
+		if err := s.graph.OptimalChainOrientationInto(wtpg.RemainingDemand, plan); err != nil {
+			panic(fmt.Sprintf("sched: GOW graph lost chain form: %v", err))
+		}
+		// Phase 3: the orders granting q would determine must agree with W.
+		for _, pr := range pairs {
+			if ok, found := plan.Precedes(pr[1], pr[0]); found && ok {
+				// W wants the other transaction first; q is inconsistent.
+				return Outcome{Decision: Delay, CPU: cpu}
+			}
 		}
 	}
 	// Phase 4: grant and fix the newly determined precedence edges.

@@ -6,12 +6,26 @@ import "fmt"
 // passes the current virtual time.
 type Handler func(now Time)
 
+// PayloadHandler is a Handler with an attached argument. Hot paths that
+// would otherwise allocate a fresh closure per event can instead schedule a
+// long-lived function plus a pointer payload (boxing a pointer into an
+// interface does not allocate).
+type PayloadHandler func(now Time, arg any)
+
 // Event is a scheduled occurrence on the calendar. It is returned by
 // Schedule so callers can cancel it before it fires.
+//
+// The reference is valid only until the event fires or, once canceled, until
+// the engine discards it from the calendar: after that the engine recycles
+// the Event for a later Schedule call. Callers that retain an Event across
+// dispatches (to cancel an in-flight timer) must drop the reference when its
+// handler runs, as the handler's first action.
 type Event struct {
 	at       Time
 	seq      uint64 // FIFO tie-break among equal timestamps
 	fn       Handler
+	pfn      PayloadHandler // set instead of fn by SchedulePayload
+	arg      any
 	canceled bool
 	index    int // heap index, -1 when not on the heap
 	label    string
@@ -37,6 +51,10 @@ type Engine struct {
 	seq      uint64
 	calendar eventHeap
 	executed uint64
+	// pool is a free list of fired/discarded events; a 2M-ms run dispatches
+	// hundreds of thousands of events, and recycling them keeps Schedule
+	// allocation-free at steady state.
+	pool []*Event
 }
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
@@ -66,6 +84,9 @@ func (e *Engine) ScheduleAt(at Time, fn Handler) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
 	return e.book(at, "", fn)
 }
 
@@ -75,17 +96,51 @@ func (e *Engine) ScheduleLabeled(delay Time, label string, fn Handler) *Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	return e.book(e.now+delay, label, fn)
-}
-
-func (e *Engine) book(at Time, label string, fn Handler) *Event {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
+	return e.book(e.now+delay, label, fn)
+}
+
+// SchedulePayload books fn(arg) to run after delay. It is Schedule for
+// allocation-sensitive callers: fn is typically a long-lived bound function
+// and arg carries the per-event state, so no per-event closure is needed.
+func (e *Engine) SchedulePayload(delay Time, fn PayloadHandler, arg any) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	ev := e.book(e.now+delay, "", nil)
+	ev.pfn = fn
+	ev.arg = arg
+	return ev
+}
+
+func (e *Engine) book(at Time, label string, fn Handler) *Event {
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, label: label}
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		*ev = Event{at: at, seq: e.seq, fn: fn, label: label}
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, label: label}
+	}
 	e.calendar.push(ev)
 	return ev
+}
+
+// recycle returns a fired or discarded event to the free list, dropping its
+// handler references so captured state can be collected.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.pfn = nil
+	ev.arg = nil
+	ev.label = ""
+	e.pool = append(e.pool, ev)
 }
 
 // Step dispatches the single next event. It returns false when the calendar
@@ -95,6 +150,7 @@ func (e *Engine) Step(horizon Time) bool {
 		next := e.calendar.peek()
 		if next.canceled {
 			e.calendar.pop()
+			e.recycle(next)
 			continue
 		}
 		if next.at > horizon {
@@ -103,7 +159,14 @@ func (e *Engine) Step(horizon Time) bool {
 		e.calendar.pop()
 		e.now = next.at
 		e.executed++
-		next.fn(e.now)
+		if next.pfn != nil {
+			pfn, arg := next.pfn, next.arg
+			pfn(e.now, arg)
+		} else {
+			fn := next.fn
+			fn(e.now)
+		}
+		e.recycle(next)
 		return true
 	}
 	return false

@@ -8,38 +8,70 @@ import (
 	"batchsched/internal/model"
 )
 
+// resetBools clears and resizes a slot-indexed scratch marker.
+func resetBools(buf *[]bool, n int) []bool {
+	b := *buf
+	if cap(b) < n {
+		b = make([]bool, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	*buf = b
+	return b
+}
+
+// resetFloats resizes a scratch float slice without clearing (callers
+// overwrite every element).
+func resetFloats(buf *[]float64, n int) []float64 {
+	b := *buf
+	if cap(b) < n {
+		b = make([]float64, n)
+	} else {
+		b = b[:n]
+	}
+	*buf = b
+	return b
+}
+
 // ChainForm reports whether the WTPG is in "chain form": every transaction
 // conflicts only with its adjacent nodes, i.e. the undirected conflict graph
 // is a disjoint union of simple paths (max degree 2, no cycles). GOW only
 // admits transactions that keep the graph in this form, because the optimal
 // serializable order is then computable in polynomial time.
 func (g *Graph) ChainForm() bool {
-	// Degree check.
-	for _, id := range g.order {
-		if len(g.adj[id]) > 2 {
+	// Degree check (slot order: the outcome is order-independent).
+	for s, lv := range g.live {
+		if lv && len(g.nbrs[s]) > 2 {
 			return false
 		}
 	}
 	// Cycle check on the undirected conflict graph: a forest has
 	// |edges| = |nodes| - |components| for every component; equivalently a
 	// component with as many edges as nodes contains a cycle.
-	visited := make(map[int64]bool)
-	for _, start := range g.order {
-		if visited[start] {
+	visited := resetBools(&g.visited, len(g.ids))
+	for ss, lv := range g.live {
+		if !lv || visited[ss] {
 			continue
 		}
 		nodes, edges := 0, 0
-		stack := []int64{start}
-		visited[start] = true
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
+		g.stack = append(g.stack[:0], ss)
+		visited[ss] = true
+		for len(g.stack) > 0 {
+			v := g.stack[len(g.stack)-1]
+			g.stack = g.stack[:len(g.stack)-1]
 			nodes++
-			for u := range g.adj[v] {
+			for _, e := range g.nbrs[v] {
 				edges++ // counted from both sides; halve below
+				u := e.sa
+				if u == v {
+					u = e.sb
+				}
 				if !visited[u] {
 					visited[u] = true
-					stack = append(stack, u)
+					g.stack = append(g.stack, u)
 				}
 			}
 		}
@@ -59,21 +91,28 @@ func (g *Graph) ChainForm() bool {
 // two endpoints would close a cycle). This is O(active + component) and
 // runs on every admission retry, so it must not clone the graph.
 func (g *Graph) ChainFormAfterAdd(t *model.Txn) bool {
-	var nbrs []int64
-	for _, id := range g.order {
-		if declConflict(t, g.txns[id]) {
-			nbrs = append(nbrs, id)
-			if len(nbrs) > 2 {
+	var nbrs [2]int64
+	n := 0
+	// Slot order, not insertion order: the outcome (a set test) is
+	// order-independent, and the slot scan needs no map lookups.
+	for s, u := range g.txnAt {
+		if !g.live[s] {
+			continue
+		}
+		if declConflict(t, u) {
+			if n == 2 {
 				return false
 			}
+			nbrs[n] = u.ID
+			n++
 		}
 	}
-	for _, u := range nbrs {
-		if len(g.adj[u]) > 1 {
+	for _, u := range nbrs[:n] {
+		if len(g.nbrs[g.slots[u]]) > 1 {
 			return false
 		}
 	}
-	if len(nbrs) == 2 && g.sameComponent(nbrs[0], nbrs[1]) {
+	if n == 2 && g.sameComponent(nbrs[0], nbrs[1]) {
 		return false
 	}
 	return true
@@ -83,18 +122,24 @@ func (g *Graph) ChainFormAfterAdd(t *model.Txn) bool {
 // component (the graph is a union of paths, so this walks at most one
 // path).
 func (g *Graph) sameComponent(x, y int64) bool {
-	seen := map[int64]bool{x: true}
-	stack := []int64{x}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if v == y {
+	sx, sy := g.slots[x], g.slots[y]
+	mark := resetBools(&g.mark, len(g.ids))
+	mark[sx] = true
+	g.stack = append(g.stack[:0], sx)
+	for len(g.stack) > 0 {
+		v := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		if v == sy {
 			return true
 		}
-		for u := range g.adj[v] {
-			if !seen[u] {
-				seen[u] = true
-				stack = append(stack, u)
+		for _, e := range g.nbrs[v] {
+			u := e.sa
+			if u == v {
+				u = e.sb
+			}
+			if !mark[u] {
+				mark[u] = true
+				g.stack = append(g.stack, u)
 			}
 		}
 	}
@@ -102,26 +147,70 @@ func (g *Graph) sameComponent(x, y int64) bool {
 }
 
 // Plan is a full serializable order W for a chain-form WTPG: an orientation
-// of every edge, chosen to minimize the critical path from T0 to Tf.
+// of every edge, chosen to minimize the critical path from T0 to Tf. A Plan
+// can be reused across OptimalChainOrientationInto calls; its edge storage
+// is a sorted slice, so refilling it allocates nothing at steady state.
 type Plan struct {
 	// Value is the critical-path length of the WTPG under W.
 	Value float64
-	pred  map[[2]int64]int64 // canonical (a,b) -> id of the predecessor endpoint
+	pred  []planEdge // sorted by (a, b)
+}
+
+// planEdge records the chosen predecessor for one canonical pair (a < b).
+type planEdge struct {
+	a, b, winner int64
+}
+
+func (p *Plan) reset() {
+	p.Value = 0
+	p.pred = p.pred[:0]
+}
+
+// sortPred orders pred by (a, b); insertion sort keeps it reflection- and
+// allocation-free (plans hold at most one edge per active transaction).
+func (p *Plan) sortPred() {
+	es := p.pred
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && (es[j].a > e.a || (es[j].a == e.a && es[j].b > e.b)) {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
 }
 
 // Precedes reports whether W orders from before to. The second result is
 // false when the plan has no edge between the pair.
 func (p *Plan) Precedes(from, to int64) (bool, bool) {
 	a, b := pairKey(from, to)
-	w, ok := p.pred[[2]int64{a, b}]
-	if !ok {
-		return false, false
+	i := sort.Search(len(p.pred), func(i int) bool {
+		pe := &p.pred[i]
+		return pe.a > a || (pe.a == a && pe.b >= b)
+	})
+	if i < len(p.pred) && p.pred[i].a == a && p.pred[i].b == b {
+		return p.pred[i].winner == from, true
 	}
-	return w == from, true
+	return false, false
 }
 
 // Edges returns the number of oriented pairs in the plan.
 func (p *Plan) Edges() int { return len(p.pred) }
+
+// chainScratch holds the per-component working arrays of the chain
+// optimizer, reused across calls.
+type chainScratch struct {
+	nodes  []int   // unordered component slots
+	path   []*edge // path[i] joins comp[i] and comp[i+1]
+	r      []float64
+	edges  []chainEdge
+	cands  []float64
+	sf, sb []float64
+	fromFf []bool
+	fromFb []bool
+	dirs   []bool
+}
 
 // OptimalChainOrientation computes the full serializable order W that
 // minimizes the critical path of a chain-form WTPG (GOW's Phase 2),
@@ -132,75 +221,107 @@ func (p *Plan) Edges() int { return len(p.pred) }
 //
 // It returns an error when the graph is not in chain form.
 func (g *Graph) OptimalChainOrientation(w0 T0Weight) (*Plan, error) {
-	if !g.ChainForm() {
-		return nil, fmt.Errorf("wtpg: graph is not in chain form")
+	plan := &Plan{}
+	if err := g.OptimalChainOrientationInto(w0, plan); err != nil {
+		return nil, err
 	}
-	plan := &Plan{pred: make(map[[2]int64]int64)}
-	visited := make(map[int64]bool)
-	for _, start := range g.order {
-		if visited[start] {
+	return plan, nil
+}
+
+// OptimalChainOrientationInto is OptimalChainOrientation writing into a
+// caller-owned Plan, which per-request callers (GOW) keep and reuse so the
+// evaluation allocates nothing at steady state.
+func (g *Graph) OptimalChainOrientationInto(w0 T0Weight, plan *Plan) error {
+	if !g.ChainForm() {
+		return fmt.Errorf("wtpg: graph is not in chain form")
+	}
+	plan.reset()
+	// Slot order: components are disjoint and the plan is sorted at the
+	// end, so the visit order cannot affect the result.
+	visited := resetBools(&g.visited, len(g.ids))
+	for start, lv := range g.live {
+		if !lv || visited[start] {
 			continue
 		}
 		comp := g.pathComponent(start)
-		for _, id := range comp {
-			visited[id] = true
+		for _, s := range comp {
+			visited[s] = true
 		}
 		value := g.solveChain(comp, w0, plan)
 		if value > plan.Value {
 			plan.Value = value
 		}
 	}
-	return plan, nil
+	plan.sortPred()
+	return nil
 }
 
-// pathComponent returns the nodes of start's component in path order,
-// beginning at the endpoint with the smaller id (for determinism). For a
-// singleton it returns just the node.
-func (g *Graph) pathComponent(start int64) []int64 {
+// pathComponent returns the slots of start's component in path order,
+// beginning at the endpoint with the smaller transaction ID (for
+// determinism), and records the edge joining each consecutive pair in
+// g.cs.path. For a singleton it returns just the node. The returned slice
+// and g.cs.path are scratch, valid until the next call.
+func (g *Graph) pathComponent(start int) []int {
 	// Collect the component.
-	var nodes []int64
-	seen := map[int64]bool{start: true}
-	stack := []int64{start}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	mark := resetBools(&g.mark, len(g.ids))
+	nodes := g.cs.nodes[:0]
+	mark[start] = true
+	g.stack = append(g.stack[:0], start)
+	for len(g.stack) > 0 {
+		v := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
 		nodes = append(nodes, v)
-		for u := range g.adj[v] {
-			if !seen[u] {
-				seen[u] = true
-				stack = append(stack, u)
+		for _, e := range g.nbrs[v] {
+			u := e.sa
+			if u == v {
+				u = e.sb
+			}
+			if !mark[u] {
+				mark[u] = true
+				g.stack = append(g.stack, u)
 			}
 		}
 	}
+	g.cs.nodes = nodes
+	g.cs.path = g.cs.path[:0]
 	if len(nodes) == 1 {
 		return nodes
 	}
-	// Find endpoints (degree 1 within the component; the component is a path).
-	var endpoints []int64
+	// Find endpoints (degree 1 within the component; the component is a
+	// path) and walk from the one with the smallest ID, capturing the edge
+	// taken at each hop.
+	first := -1
 	for _, v := range nodes {
-		if len(g.adj[v]) == 1 {
-			endpoints = append(endpoints, v)
+		if len(g.nbrs[v]) == 1 && (first < 0 || g.ids[v] < g.ids[first]) {
+			first = v
 		}
 	}
-	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
-	// Walk the path from the smallest endpoint.
-	ordered := make([]int64, 0, len(nodes))
-	prev := int64(-1)
-	cur := endpoints[0]
+	ordered := g.comp[:0]
+	path := g.cs.path[:0]
+	prev := -1
+	cur := first
 	for {
 		ordered = append(ordered, cur)
-		next := int64(-1)
-		for u := range g.adj[cur] {
-			if u != prev && seen[u] {
-				next = u
+		next := -1
+		var via *edge
+		for _, e := range g.nbrs[cur] {
+			u := e.sa
+			if u == cur {
+				u = e.sb
+			}
+			if u != prev {
+				next, via = u, e
 				break
 			}
 		}
 		if next == -1 {
 			break
 		}
+		path = append(path, via)
 		prev, cur = cur, next
 	}
+	g.comp = ordered
+	g.cs.path = path
 	return ordered
 }
 
@@ -213,12 +334,12 @@ type chainEdge struct {
 // solveChain minimizes the critical path of one path component and records
 // the chosen orientation into plan. It returns the component's minimal
 // critical-path value.
-func (g *Graph) solveChain(comp []int64, w0 T0Weight, plan *Plan) float64 {
+func (g *Graph) solveChain(comp []int, w0 T0Weight, plan *Plan) float64 {
 	m := len(comp)
-	r := make([]float64, m)
+	r := resetFloats(&g.cs.r, m)
 	maxR := 0.0
-	for i, id := range comp {
-		r[i] = w0(g.txns[id])
+	for i, s := range comp {
+		r[i] = w0(g.txnAt[s])
 		if r[i] > maxR {
 			maxR = r[i]
 		}
@@ -226,11 +347,11 @@ func (g *Graph) solveChain(comp []int64, w0 T0Weight, plan *Plan) float64 {
 	if m == 1 {
 		return maxR
 	}
-	edges := make([]chainEdge, m-1)
+	edges := g.cs.edges[:0]
 	for i := 0; i < m-1; i++ {
-		e, _ := g.edgeBetween(comp[i], comp[i+1])
+		e := g.cs.path[i]
 		var ce chainEdge
-		if comp[i] == e.a {
+		if comp[i] == e.sa {
 			ce.f, ce.b = e.wAB, e.wBA
 			ce.fixed = e.dir
 		} else {
@@ -244,12 +365,13 @@ func (g *Graph) solveChain(comp []int64, w0 T0Weight, plan *Plan) float64 {
 				ce.fixed = Undetermined
 			}
 		}
-		edges[i] = ce
+		edges = append(edges, ce)
 	}
+	g.cs.edges = edges
 
 	// Candidate critical values: every r_s, every forward contiguous sum
 	// r_s + Σ f, every backward contiguous sum r_s + Σ b.
-	cands := append([]float64(nil), r...)
+	cands := append(g.cs.cands[:0], r...)
 	for s := 0; s < m; s++ {
 		sum := 0.0
 		for j := s; j < m-1; j++ {
@@ -262,37 +384,39 @@ func (g *Graph) solveChain(comp []int64, w0 T0Weight, plan *Plan) float64 {
 			cands = append(cands, r[s]+sum)
 		}
 	}
-	sort.Float64s(cands)
+	sortFloats(cands)
 	cands = dedupFloats(cands)
+	g.cs.cands = cands
 	// Binary search the smallest feasible candidate >= maxR.
 	lo := sort.SearchFloat64s(cands, maxR)
 	hi := len(cands) - 1
 	// The largest candidate is always feasible (it bounds every run value).
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if feasible, _ := chainFeasible(r, edges, cands[mid]); feasible {
+		if feasible, _ := g.chainFeasible(r, edges, cands[mid]); feasible {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
 	value := cands[lo]
-	_, dirs := chainFeasible(r, edges, value)
+	_, dirs := g.chainFeasible(r, edges, value)
 	for i, forward := range dirs {
-		a, b := pairKey(comp[i], comp[i+1])
-		winner := comp[i]
+		a, b := pairKey(g.ids[comp[i]], g.ids[comp[i+1]])
+		winner := g.ids[comp[i]]
 		if !forward {
-			winner = comp[i+1]
+			winner = g.ids[comp[i+1]]
 		}
-		plan.pred[[2]int64{a, b}] = winner
+		plan.pred = append(plan.pred, planEdge{a: a, b: b, winner: winner})
 	}
 	return value
 }
 
 // chainFeasible decides whether an orientation of the free edges exists such
 // that every directed run's path value stays <= x, and returns one such
-// orientation (true = forward) when it does.
-func chainFeasible(r []float64, edges []chainEdge, x float64) (bool, []bool) {
+// orientation (true = forward) when it does. The returned slice is scratch,
+// valid until the next call.
+func (g *Graph) chainFeasible(r []float64, edges []chainEdge, x float64) (bool, []bool) {
 	for _, ri := range r {
 		if ri > x {
 			return false, nil
@@ -302,12 +426,12 @@ func chainFeasible(r []float64, edges []chainEdge, x float64) (bool, []bool) {
 	n := len(edges)
 	// sf[i]: minimal open forward-run value with edge i forward; sb[i]:
 	// minimal open backward-run weight-sum with edge i backward.
-	sf := make([]float64, n)
-	sb := make([]float64, n)
+	sf := resetFloats(&g.cs.sf, n)
+	sb := resetFloats(&g.cs.sb, n)
 	// fromF[i] records whether state (i, dir) was reached from a forward
 	// state at i-1 (used for reconstruction).
-	fromFf := make([]bool, n)
-	fromFb := make([]bool, n)
+	fromFf := resetBools(&g.cs.fromFf, n)
+	fromFb := resetBools(&g.cs.fromFb, n)
 	for i := 0; i < n; i++ {
 		sf[i], sb[i] = inf, inf
 		allowF := edges[i].fixed != BToA
@@ -369,7 +493,7 @@ func chainFeasible(r []float64, edges []chainEdge, x float64) (bool, []bool) {
 		return true, nil
 	}
 	// Reconstruct.
-	dirs := make([]bool, n)
+	dirs := resetBools(&g.cs.dirs, n)
 	forward := sf[n-1] < inf
 	for i := n - 1; i >= 0; i-- {
 		dirs[i] = forward
@@ -380,6 +504,24 @@ func chainFeasible(r []float64, edges []chainEdge, x float64) (bool, []bool) {
 		}
 	}
 	return true, dirs
+}
+
+// sortFloats sorts ascending; components are short, so an insertion sort
+// avoids sort.Float64s' partition machinery on the common case.
+func sortFloats(xs []float64) {
+	if len(xs) > 48 {
+		sort.Float64s(xs)
+		return
+	}
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
 }
 
 func dedupFloats(xs []float64) []float64 {

@@ -3,7 +3,6 @@ package wtpg
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 )
 
@@ -22,14 +21,8 @@ func (g *Graph) WriteDOT(w io.Writer, w0 T0Weight) error {
 	for _, id := range g.order {
 		fmt.Fprintf(&b, "  T0 -> T%d [label=\"%g\", color=gray];\n", id, w0(g.txns[id]))
 	}
-	edges := g.edgeSet()
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].a != edges[j].a {
-			return edges[i].a < edges[j].a
-		}
-		return edges[i].b < edges[j].b
-	})
-	for _, e := range edges {
+	// edgeSet is already sorted by (a, b).
+	for _, e := range g.edgeSet() {
 		switch e.dir {
 		case Undetermined:
 			fmt.Fprintf(&b, "  T%d -> T%d [label=\"%g\", style=dashed, dir=both];\n", e.a, e.b, e.wAB)

@@ -12,6 +12,14 @@
 // assuming the predecessor has just committed. T0's edge to each transaction
 // weighs that transaction's remaining declared demand and is the only weight
 // that changes as the schedule proceeds.
+//
+// The graph is evaluated on every lock request, so its representation is
+// built for that hot path: transactions map to dense small-integer slots,
+// adjacency is a sorted slice per slot, and reachability over precedence
+// edges is a []uint64 bitset row per slot maintained incrementally as edges
+// are oriented. Speculative evaluation (LOW's E(q)) applies orientations to
+// the live graph under an undo log and rolls them back, instead of deep
+// copying the graph per candidate.
 package wtpg
 
 import (
@@ -40,11 +48,12 @@ const (
 var ErrDeadlock = fmt.Errorf("wtpg: orientation closes a precedence cycle")
 
 type edge struct {
-	a, b  int64   // a < b
-	wAB   float64 // weight when oriented a->b: b's remaining demand from its blocked step
-	wBA   float64 // weight when oriented b->a
-	files []model.FileID
-	dir   Dir
+	a, b   int64   // a < b (transaction IDs)
+	sa, sb int     // slots of a and b while both are in the graph
+	wAB    float64 // weight when oriented a->b: b's remaining demand from its blocked step
+	wBA    float64 // weight when oriented b->a
+	files  []model.FileID
+	dir    Dir
 }
 
 func (e *edge) conflictsOn(f model.FileID) bool {
@@ -78,19 +87,63 @@ func pairKey(x, y int64) (int64, int64) {
 	return y, x
 }
 
+// savedRow is one copy-on-write reachability row in the undo log.
+type savedRow struct {
+	slot int
+	row  []uint64
+}
+
 // Graph is a WTPG over the currently active transactions. It is not safe for
 // concurrent use; each simulation run owns its graphs exclusively.
 type Graph struct {
 	txns  map[int64]*model.Txn
-	adj   map[int64]map[int64]*edge
+	slots map[int64]int // txn id -> slot
+	ids   []int64       // slot -> txn id (valid while live[slot])
+	txnAt []*model.Txn  // slot -> transaction (nil when not live)
+	live  []bool
+	freed []int
 	order []int64 // insertion order, for deterministic iteration
+
+	// nbrs[s] holds the edges incident to slot s, sorted ascending by the
+	// other endpoint's transaction ID, so per-request iteration needs no
+	// sort and pair lookup is a binary search.
+	nbrs [][]*edge
+
+	// reach[s] is a bitset over slots: bit t set iff a non-empty directed
+	// path of precedence edges runs from slot s to slot t. Maintained
+	// incrementally by orientEdge; rebuilt per affected row on Remove.
+	reach [][]uint64
+	words int // words per reachability row
+
+	// edges caches edgeSet() (each edge once, sorted by (a, b)); dirs may
+	// change without invalidating it, only Add/Remove set edgesDirty.
+	edges      []*edge
+	edgesDirty bool
+
+	// Undo log for speculative orientation (begin/rollback/commit).
+	specActive bool
+	logEdges   []*edge
+	logRows    []savedRow
+	logNRows   int
+	rowGen     []int64 // per-slot generation of the last saved row
+	gen        int64
+
+	// Scratch buffers reused across calls (valid only within one call).
+	indeg   []int
+	best    []float64
+	queue   []int
+	stack   []int
+	visited []bool
+	mark    []bool
+	comp    []int // path-ordered component slots
+	cs      chainScratch
 }
 
 // New returns an empty WTPG.
 func New() *Graph {
 	return &Graph{
-		txns: make(map[int64]*model.Txn),
-		adj:  make(map[int64]map[int64]*edge),
+		txns:  make(map[int64]*model.Txn),
+		slots: make(map[int64]int),
 	}
 }
 
@@ -112,16 +165,87 @@ func (g *Graph) Txns() []*model.Txn {
 	return out
 }
 
+func bitGet(row []uint64, i int) bool { return row[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitPut(row []uint64, i int)      { row[i>>6] |= 1 << (uint(i) & 63) }
+
+// allocSlot assigns a dense slot to a new transaction, reusing freed slots
+// and growing the per-row word count only when the slot space expands past a
+// 64-slot boundary.
+func (g *Graph) allocSlot(id int64) int {
+	var s int
+	if n := len(g.freed); n > 0 {
+		s = g.freed[n-1]
+		g.freed = g.freed[:n-1]
+	} else {
+		s = len(g.ids)
+		g.ids = append(g.ids, 0)
+		g.txnAt = append(g.txnAt, nil)
+		g.live = append(g.live, false)
+		g.nbrs = append(g.nbrs, nil)
+		g.reach = append(g.reach, nil)
+		g.rowGen = append(g.rowGen, 0)
+		if need := (len(g.ids) + 63) / 64; need > g.words {
+			g.words = need
+			for i := range g.reach {
+				for len(g.reach[i]) < g.words {
+					g.reach[i] = append(g.reach[i], 0)
+				}
+			}
+		}
+	}
+	g.ids[s] = id
+	g.live[s] = true
+	g.slots[id] = s
+	row := g.reach[s]
+	if cap(row) < g.words {
+		row = make([]uint64, g.words)
+	} else {
+		row = row[:g.words]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	g.reach[s] = row
+	return s
+}
+
+// insertNeighbor places e into slot s's adjacency keeping it sorted by the
+// other endpoint's ID.
+func (g *Graph) insertNeighbor(s int, other int64, e *edge) {
+	lst := g.nbrs[s]
+	self := g.ids[s]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].other(self) >= other })
+	lst = append(lst, nil)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = e
+	g.nbrs[s] = lst
+}
+
+func (g *Graph) removeNeighbor(s int, other int64) {
+	lst := g.nbrs[s]
+	self := g.ids[s]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].other(self) >= other })
+	if i < len(lst) && lst[i].other(self) == other {
+		copy(lst[i:], lst[i+1:])
+		lst[len(lst)-1] = nil
+		g.nbrs[s] = lst[:len(lst)-1]
+	}
+}
+
 // Add inserts a transaction, creating a conflict edge (with both directional
 // weights from the access declarations) to every already-present transaction
 // it conflicts with. Adding an existing id panics: it is always a scheduler
 // bug.
 func (g *Graph) Add(t *model.Txn) {
+	if g.specActive {
+		panic("wtpg: Add during speculative evaluation")
+	}
 	if g.Has(t.ID) {
 		panic(fmt.Sprintf("wtpg: transaction %d already present", t.ID))
 	}
+	s := g.allocSlot(t.ID)
 	g.txns[t.ID] = t
-	g.adj[t.ID] = make(map[int64]*edge)
+	g.txnAt[s] = t
 	g.order = append(g.order, t.ID)
 	for _, id := range g.order[:len(g.order)-1] {
 		u := g.txns[id]
@@ -133,22 +257,32 @@ func (g *Graph) Add(t *model.Txn) {
 		ta, tb := g.txns[a], g.txns[b]
 		wAB, _ := model.ConflictWeight(tb, ta) // b blocked by a
 		wBA, _ := model.ConflictWeight(ta, tb)
-		e := &edge{a: a, b: b, wAB: wAB, wBA: wBA, files: files}
-		g.adj[t.ID][u.ID] = e
-		g.adj[u.ID][t.ID] = e
+		e := &edge{a: a, b: b, sa: g.slots[a], sb: g.slots[b], wAB: wAB, wBA: wBA, files: files}
+		g.insertNeighbor(s, u.ID, e)
+		g.insertNeighbor(g.slots[u.ID], t.ID, e)
+		g.edgesDirty = true
 	}
 }
 
 // declConflict reports whether the declared needs of x and y request
-// incompatible modes on at least one common file, without allocating.
+// incompatible modes on at least one common file. A merge over the sorted
+// need lists: no allocation, no map iteration.
 func declConflict(x, y *model.Txn) bool {
-	nx, ny := x.LockNeed(), y.LockNeed()
-	if len(ny) < len(nx) {
-		nx, ny = ny, nx
-	}
-	for f, mx := range nx {
-		if my, ok := ny[f]; ok && !mx.Compatible(my) {
-			return true
+	fx, mx := x.LockNeedSorted()
+	fy, my := y.LockNeedSorted()
+	i, j := 0, 0
+	for i < len(fx) && j < len(fy) {
+		switch {
+		case fx[i] < fy[j]:
+			i++
+		case fx[i] > fy[j]:
+			j++
+		default:
+			if !mx[i].Compatible(my[j]) {
+				return true
+			}
+			i++
+			j++
 		}
 	}
 	return false
@@ -157,56 +291,141 @@ func declConflict(x, y *model.Txn) bool {
 // conflictFiles lists the files on which the declared needs of x and y
 // request incompatible lock modes, in ascending order.
 func conflictFiles(x, y *model.Txn) []model.FileID {
-	nx, ny := x.LockNeed(), y.LockNeed()
+	fx, mx := x.LockNeedSorted()
+	fy, my := y.LockNeedSorted()
 	var out []model.FileID
-	for f, mx := range nx {
-		if my, ok := ny[f]; ok && !mx.Compatible(my) {
-			out = append(out, f)
+	i, j := 0, 0
+	for i < len(fx) && j < len(fy) {
+		switch {
+		case fx[i] < fy[j]:
+			i++
+		case fx[i] > fy[j]:
+			j++
+		default:
+			if !mx[i].Compatible(my[j]) {
+				out = append(out, fx[i])
+			}
+			i++
+			j++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Remove deletes a transaction (typically on commit) together with all of
-// its edges. Removing an absent id is a no-op.
+// its edges. Removing an absent id is a no-op. Reachability rows that ran
+// through the removed node are rebuilt; all others are untouched.
 func (g *Graph) Remove(id int64) {
-	if !g.Has(id) {
+	if g.specActive {
+		panic("wtpg: Remove during speculative evaluation")
+	}
+	s, ok := g.slots[id]
+	if !ok {
 		return
 	}
-	for other := range g.adj[id] {
-		delete(g.adj[other], id)
+	hadDetermined := false
+	for _, e := range g.nbrs[s] {
+		if e.dir != Undetermined {
+			hadDetermined = true
+		}
+		os := e.sa
+		if os == s {
+			os = e.sb
+		}
+		g.removeNeighbor(os, id)
 	}
-	delete(g.adj, id)
+	if len(g.nbrs[s]) > 0 {
+		g.edgesDirty = true
+	}
+	lst := g.nbrs[s]
+	for i := range lst {
+		lst[i] = nil
+	}
+	g.nbrs[s] = lst[:0]
+	delete(g.slots, id)
 	delete(g.txns, id)
+	g.txnAt[s] = nil
+	g.live[s] = false
+	g.freed = append(g.freed, s)
 	for i, x := range g.order {
 		if x == id {
 			g.order = append(g.order[:i], g.order[i+1:]...)
 			break
 		}
 	}
+	row := g.reach[s]
+	for i := range row {
+		row[i] = 0
+	}
+	if hadDetermined {
+		// Every row that reached s (paths through s imply reaching s itself)
+		// is stale; recompute just those.
+		for x, lv := range g.live {
+			if lv && bitGet(g.reach[x], s) {
+				g.recomputeRow(x)
+			}
+		}
+	}
+}
+
+// recomputeRow rebuilds reach[s] by a DFS over the current precedence edges.
+func (g *Graph) recomputeRow(s int) {
+	row := g.reach[s]
+	for i := range row {
+		row[i] = 0
+	}
+	g.stack = g.stack[:0]
+	g.pushSuccessors(s)
+	for len(g.stack) > 0 {
+		v := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		if bitGet(row, v) {
+			continue
+		}
+		bitPut(row, v)
+		g.pushSuccessors(v)
+	}
+}
+
+// pushSuccessors pushes the precedence successors of slot s onto the scratch
+// stack.
+func (g *Graph) pushSuccessors(s int) {
+	for _, e := range g.nbrs[s] {
+		switch e.dir {
+		case AToB:
+			if e.sa == s {
+				g.stack = append(g.stack, e.sb)
+			}
+		case BToA:
+			if e.sb == s {
+				g.stack = append(g.stack, e.sa)
+			}
+		}
+	}
 }
 
 // Clone returns a deep copy of the graph sharing the (immutable) transaction
-// declarations. Used for tentative evaluations such as LOW's E(q).
+// declarations. Retained for tests and offline tools; the hot path
+// (Evaluate) speculates on the live graph instead.
 func (g *Graph) Clone() *Graph {
 	c := New()
-	c.order = append([]int64(nil), g.order...)
-	for id, t := range g.txns {
-		c.txns[id] = t
-		c.adj[id] = make(map[int64]*edge, len(g.adj[id]))
+	for _, id := range g.order {
+		s := c.allocSlot(id)
+		c.txns[id] = g.txns[id]
+		c.txnAt[s] = g.txns[id]
+		c.order = append(c.order, id)
 	}
-	seen := make(map[*edge]*edge)
-	for id, nbrs := range g.adj {
-		for other, e := range nbrs {
-			ce, ok := seen[e]
-			if !ok {
-				cp := *e
-				cp.files = append([]model.FileID(nil), e.files...)
-				ce = &cp
-				seen[e] = ce
-			}
-			c.adj[id][other] = ce
+	for _, e := range g.edgeSet() {
+		ce := &edge{a: e.a, b: e.b, sa: c.slots[e.a], sb: c.slots[e.b],
+			wAB: e.wAB, wBA: e.wBA, dir: e.dir,
+			files: append([]model.FileID(nil), e.files...)}
+		c.insertNeighbor(ce.sa, e.b, ce)
+		c.insertNeighbor(ce.sb, e.a, ce)
+	}
+	c.edgesDirty = true
+	for s, lv := range c.live {
+		if lv {
+			c.recomputeRow(s)
 		}
 	}
 	return c
@@ -243,12 +462,105 @@ func (g *Graph) EdgeWeight(from, to int64) (float64, bool) {
 }
 
 func (g *Graph) edgeBetween(x, y int64) (*edge, bool) {
-	nbrs, ok := g.adj[x]
+	s, ok := g.slots[x]
 	if !ok {
 		return nil, false
 	}
-	e, ok := nbrs[y]
-	return e, ok
+	lst := g.nbrs[s]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].other(x) >= y })
+	if i < len(lst) && lst[i].other(x) == y {
+		return lst[i], true
+	}
+	return nil, false
+}
+
+// begin opens an undo scope for speculative orientation. Scopes do not nest.
+func (g *Graph) begin() {
+	if g.specActive {
+		panic("wtpg: nested speculative evaluation")
+	}
+	g.specActive = true
+	g.gen++
+	g.logEdges = g.logEdges[:0]
+	g.logNRows = 0
+}
+
+// saveRow records reach[s] in the undo log once per scope (copy-on-write).
+func (g *Graph) saveRow(s int) {
+	if g.rowGen[s] == g.gen {
+		return
+	}
+	g.rowGen[s] = g.gen
+	if g.logNRows < len(g.logRows) {
+		sr := &g.logRows[g.logNRows]
+		sr.slot = s
+		sr.row = append(sr.row[:0], g.reach[s]...)
+	} else {
+		g.logRows = append(g.logRows, savedRow{slot: s, row: append([]uint64(nil), g.reach[s]...)})
+	}
+	g.logNRows++
+}
+
+// rollback undoes every orientation and reachability change of the current
+// scope and closes it.
+func (g *Graph) rollback() {
+	for _, e := range g.logEdges {
+		e.dir = Undetermined // scopes only ever determine undetermined edges
+	}
+	for i := 0; i < g.logNRows; i++ {
+		sr := &g.logRows[i]
+		copy(g.reach[sr.slot], sr.row)
+	}
+	g.specActive = false
+}
+
+// commit keeps the scope's changes and closes it.
+func (g *Graph) commit() { g.specActive = false }
+
+// orientEdge fixes e in direction want and updates the reachability bitsets
+// incrementally: every row that reaches the new predecessor (plus the
+// predecessor itself) absorbs the successor's row. It refuses with
+// ErrDeadlock — before mutating anything — when the successor already
+// reaches the predecessor. Must run inside a begin scope.
+func (g *Graph) orientEdge(e *edge, want Dir) error {
+	sf, st := e.sa, e.sb
+	if want == BToA {
+		sf, st = e.sb, e.sa
+	}
+	if bitGet(g.reach[st], sf) {
+		return ErrDeadlock // to already reaches from: a cycle would close
+	}
+	g.logEdges = append(g.logEdges, e)
+	e.dir = want
+	tr := g.reach[st]
+	for x, lv := range g.live {
+		if !lv {
+			continue
+		}
+		if x != sf && !bitGet(g.reach[x], sf) {
+			continue
+		}
+		row := g.reach[x]
+		changed := !bitGet(row, st)
+		if !changed {
+			for w, bits := range tr {
+				if bits&^row[w] != 0 {
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			continue
+		}
+		g.saveRow(x)
+		row = g.reach[x]
+		for w, bits := range tr {
+			row[w] |= bits
+		}
+		bitPut(row, st)
+	}
+	return nil
 }
 
 // Orient fixes the serialization order from->to on the (existing) edge
@@ -264,131 +576,105 @@ func (g *Graph) Orient(from, to int64) error {
 // OrientAll applies a batch of orientations atomically (all or none),
 // running closure once at the end.
 func (g *Graph) OrientAll(pairs [][2]int64) error {
-	// Work on a private copy of the edge directions so failure leaves g
-	// untouched.
-	type change struct {
-		e   *edge
-		dir Dir
+	g.begin()
+	if err := g.applyOrientations(pairs); err != nil {
+		g.rollback()
+		return err
 	}
-	var staged []change
-	dirOf := func(e *edge) Dir {
-		for _, c := range staged {
-			if c.e == e {
-				return c.dir
-			}
-		}
-		return e.dir
-	}
-	stage := func(from, to int64) error {
-		e, ok := g.edgeBetween(from, to)
+	g.commit()
+	return nil
+}
+
+// applyOrientations orients the requested pairs and closes the graph under
+// the Section-3.3 rule inside the current undo scope. On error the caller
+// must roll the scope back.
+func (g *Graph) applyOrientations(pairs [][2]int64) error {
+	for _, p := range pairs {
+		e, ok := g.edgeBetween(p[0], p[1])
 		if !ok {
-			return fmt.Errorf("wtpg: no edge between %d and %d", from, to)
+			return fmt.Errorf("wtpg: no edge between %d and %d", p[0], p[1])
 		}
 		want := AToB
-		if from == e.b {
+		if p[0] == e.b {
 			want = BToA
 		}
-		cur := dirOf(e)
-		if cur == want {
-			return nil
+		if e.dir == want {
+			continue
 		}
-		if cur != Undetermined {
+		if e.dir != Undetermined {
 			return ErrDeadlock
 		}
-		staged = append(staged, change{e, want})
-		return nil
-	}
-	for _, p := range pairs {
-		if err := stage(p[0], p[1]); err != nil {
+		if err := g.orientEdge(e, want); err != nil {
 			return err
 		}
 	}
 	// Closure to fixpoint: any undetermined edge whose endpoints are joined
 	// by a directed path must follow that path's direction; both directions
-	// reachable means a deadlock.
+	// reachable means a deadlock. Each pass is a pair of O(1) bit probes per
+	// edge against the incrementally maintained rows.
 	for {
-		reach := g.reachability(dirOf)
 		changed := false
 		for _, e := range g.edgeSet() {
-			if dirOf(e) != Undetermined {
+			if e.dir != Undetermined {
 				continue
 			}
-			ab := reach[e.a][e.b]
-			ba := reach[e.b][e.a]
+			ab := bitGet(g.reach[e.sa], e.sb)
+			ba := bitGet(g.reach[e.sb], e.sa)
 			switch {
 			case ab && ba:
 				return ErrDeadlock
 			case ab:
-				staged = append(staged, change{e, AToB})
+				if err := g.orientEdge(e, AToB); err != nil {
+					return err
+				}
 				changed = true
 			case ba:
-				staged = append(staged, change{e, BToA})
+				if err := g.orientEdge(e, BToA); err != nil {
+					return err
+				}
 				changed = true
 			}
 		}
 		if !changed {
-			// Final cycle check over determined edges.
-			for id := range g.txns {
-				if reach[id][id] {
-					return ErrDeadlock
-				}
-			}
 			break
 		}
-	}
-	for _, c := range staged {
-		c.e.dir = c.dir
 	}
 	return nil
 }
 
-// edgeSet returns each edge exactly once, in a deterministic order.
+// edgeSet returns each edge exactly once, sorted by (a, b). The slice is
+// cached; Add/Remove invalidate it (orientation changes do not). Callers
+// must not modify or retain it across mutations.
 func (g *Graph) edgeSet() []*edge {
-	var out []*edge
+	if !g.edgesDirty {
+		return g.edges
+	}
+	g.edges = g.edges[:0]
 	for _, id := range g.order {
-		for _, e := range g.adj[id] {
+		for _, e := range g.nbrs[g.slots[id]] {
 			if e.a == id { // emit from the low endpoint only
-				out = append(out, e)
+				g.edges = append(g.edges, e)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].a != out[j].a {
-			return out[i].a < out[j].a
-		}
-		return out[i].b < out[j].b
-	})
-	return out
+	sortEdges(g.edges)
+	g.edgesDirty = false
+	return g.edges
 }
 
-// reachability computes, under the staged directions, reach[x][y] = true iff
-// a non-empty directed path x -> ... -> y exists.
-func (g *Graph) reachability(dirOf func(*edge) Dir) map[int64]map[int64]bool {
-	succ := make(map[int64][]int64, len(g.txns))
-	for _, e := range g.edgeSet() {
-		switch dirOf(e) {
-		case AToB:
-			succ[e.a] = append(succ[e.a], e.b)
-		case BToA:
-			succ[e.b] = append(succ[e.b], e.a)
+// sortEdges orders edges by (a, b) with a reflection-free insertion sort.
+// Transaction IDs are assigned monotonically, so the emission order of
+// edgeSet is already sorted in practice and the loop is a single pass.
+func sortEdges(es []*edge) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && (es[j].a > e.a || (es[j].a == e.a && es[j].b > e.b)) {
+			es[j+1] = es[j]
+			j--
 		}
+		es[j+1] = e
 	}
-	reach := make(map[int64]map[int64]bool, len(g.txns))
-	for id := range g.txns {
-		seen := make(map[int64]bool)
-		stack := append([]int64(nil), succ[id]...)
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			stack = append(stack, succ[v]...)
-		}
-		reach[id] = seen
-	}
-	return reach
 }
 
 // GrantOrientations lists the serialization orders that granting transaction
@@ -397,22 +683,21 @@ func (g *Graph) reachability(dirOf func(*edge) Dir) map[int64]map[int64]bool {
 // second return is ErrDeadlock when some such pair is already determined the
 // other way (the grant would violate the existing order).
 func (g *Graph) GrantOrientations(t *model.Txn, f model.FileID, m model.Mode) ([][2]int64, error) {
-	if !g.Has(t.ID) {
+	s, ok := g.slots[t.ID]
+	if !ok {
 		return nil, fmt.Errorf("wtpg: transaction %d not in graph", t.ID)
 	}
-	nbrs := make([]int64, 0, len(g.adj[t.ID]))
-	for u := range g.adj[t.ID] {
-		nbrs = append(nbrs, u)
-	}
-	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
 	var out [][2]int64
-	for _, uID := range nbrs {
-		e := g.adj[t.ID][uID]
+	for _, e := range g.nbrs[s] { // sorted by the other endpoint's ID
 		if !e.conflictsOn(f) {
 			continue
 		}
-		u := g.txns[uID]
-		um, ok := u.LockNeed()[f]
+		us := e.sa
+		if us == s {
+			us = e.sb
+		}
+		uID := e.other(t.ID)
+		um, ok := g.txnAt[us].NeedMode(f)
 		if !ok || um.Compatible(m) {
 			continue
 		}
@@ -459,86 +744,102 @@ func RemainingDemand(t *model.Txn) float64 { return t.DeclaredRemaining(t.StepIn
 //	max over v of [ max over directed paths u1->...->v of w0(u1) + Σ w ].
 //
 // It returns ErrDeadlock if the precedence edges contain a cycle (impossible
-// after successful Orient/Grant calls, but checked defensively).
+// after successful Orient/Grant calls, but checked defensively). It reads
+// edge directions only, never the reachability index, so it is safe under a
+// speculative scope and in tests that toggle directions directly.
 func (g *Graph) CriticalPath(w0 T0Weight) (float64, error) {
-	// Longest path over the precedence DAG via Kahn topological order.
-	incoming := make(map[int64][]*edge)
-	indeg := make(map[int64]int)
-	for id := range g.txns {
-		indeg[id] = 0
+	n := len(g.ids)
+	if cap(g.indeg) < n {
+		g.indeg = make([]int, n)
+		g.best = make([]float64, n)
 	}
+	indeg := g.indeg[:n]
+	best := g.best[:n]
 	for _, e := range g.edgeSet() {
 		if e.dir == Undetermined {
 			continue
 		}
-		_, to, _ := e.oriented()
-		incoming[to] = append(incoming[to], e)
-		indeg[to]++
-	}
-	// Kahn topological order.
-	var queue []int64
-	for _, id := range g.order {
-		if indeg[id] == 0 {
-			queue = append(queue, id)
+		if e.dir == AToB {
+			indeg[e.sb]++
+		} else {
+			indeg[e.sa]++
 		}
 	}
-	best := make(map[int64]float64, len(g.txns))
+	queue := g.queue[:0]
+	for s, lv := range g.live {
+		if !lv {
+			continue
+		}
+		best[s] = w0(g.txnAt[s])
+		if indeg[s] == 0 {
+			queue = append(queue, s)
+		}
+	}
+	// Kahn topological order with forward longest-path relaxation.
 	processed := 0
-	outEdges := func(id int64) []*edge {
-		var out []*edge
-		for _, e := range g.adj[id] {
-			if e.dir == Undetermined {
+	var ans float64
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		processed++
+		b := best[s]
+		if b > ans {
+			ans = b
+		}
+		for _, e := range g.nbrs[s] {
+			var to int
+			var w float64
+			switch e.dir {
+			case AToB:
+				if e.sa != s {
+					continue
+				}
+				to, w = e.sb, e.wAB
+			case BToA:
+				if e.sb != s {
+					continue
+				}
+				to, w = e.sa, e.wBA
+			default:
 				continue
 			}
-			if from, _, _ := e.oriented(); from == id {
-				out = append(out, e)
+			if v := b + w; v > best[to] {
+				best[to] = v
 			}
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].other(id) < out[j].other(id) })
-		return out
-	}
-	for i := 0; i < len(queue); i++ {
-		id := queue[i]
-		processed++
-		b := w0(g.txns[id])
-		for _, e := range incoming[id] {
-			from, _, w := e.oriented()
-			if v := best[from] + w; v > b {
-				b = v
-			}
-		}
-		best[id] = b
-		for _, e := range outEdges(id) {
-			_, to, _ := e.oriented()
 			indeg[to]--
 			if indeg[to] == 0 {
 				queue = append(queue, to)
 			}
 		}
 	}
+	g.queue = queue[:0]
 	if processed != len(g.txns) {
-		return math.Inf(1), ErrDeadlock
-	}
-	var ans float64
-	for _, v := range best {
-		if v > ans {
-			ans = v
+		// Leave indeg zeroed for the next call before reporting the cycle.
+		for i := range indeg {
+			indeg[i] = 0
 		}
+		return math.Inf(1), ErrDeadlock
 	}
 	return ans, nil
 }
 
 // Evaluate computes the LOW estimation function E(q) of Fig. 5 for the
 // request "transaction t asks mode m on file f": tentatively grant the
-// request in a copy of the graph (orienting the edges the grant determines,
-// with closure), then return the critical path length ignoring the remaining
-// conflict edges. A grant that would deadlock evaluates to +Inf.
+// request on the live graph under an undo scope (orienting the edges the
+// grant determines, with closure), measure the critical path ignoring the
+// remaining conflict edges, and roll the graph back to its prior state. A
+// grant that would deadlock evaluates to +Inf.
 func Evaluate(g *Graph, t *model.Txn, f model.FileID, m model.Mode, w0 T0Weight) float64 {
-	c := g.Clone()
-	if err := c.Grant(t, f, m); err != nil {
+	pairs, err := g.GrantOrientations(t, f, m)
+	if err != nil {
 		return math.Inf(1)
 	}
-	v, err := c.CriticalPath(w0)
+	g.begin()
+	if err := g.applyOrientations(pairs); err != nil {
+		g.rollback()
+		return math.Inf(1)
+	}
+	v, err := g.CriticalPath(w0)
+	g.rollback()
 	if err != nil {
 		return math.Inf(1)
 	}
