@@ -36,6 +36,7 @@ import (
 	"batchsched/internal/machine"
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
+	"batchsched/internal/obs"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 	"batchsched/internal/trace"
@@ -68,6 +69,10 @@ type (
 	// FaultConfig carries the fault-injection knobs (Config.Faults); the
 	// zero value is the paper's failure-free machine.
 	FaultConfig = fault.Config
+	// Obs is the virtual-time observability recorder (see RunObserved and
+	// internal/obs): spans, metrics time-series, and the scheduler decision
+	// audit, with Chrome-trace / CSV / HTML exporters.
+	Obs = obs.Observer
 )
 
 // Lock modes and time units.
@@ -151,6 +156,29 @@ func RunReplicated(cfg Config, scheduler string, params Params, gen Generator, s
 	}
 	avg, ci := metrics.AverageWithCI(sums)
 	return avg, ci, nil
+}
+
+// NewObs returns an enabled observability recorder, ready for RunObserved.
+func NewObs() *Obs { return obs.New() }
+
+// RunObserved is Run with the full observability layer attached: ob records
+// lifecycle/CN/DPN spans over virtual time, samples the metrics registry on
+// its configured interval, and — for GOW and LOW — collects the scheduler
+// decision audit. After the run, export with ob.WriteChromeTrace,
+// ob.WriteMetricsCSV, ob.WriteAuditJSONL or ob.WriteHTMLReport. The
+// instrumentation is passive: the returned summary is identical to Run's
+// for the same arguments. A nil ob degrades to exactly Run.
+func RunObserved(cfg Config, scheduler string, params Params, gen Generator, seed int64, ob *Obs) (Summary, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, err
+	}
+	m, err := machine.New(cfg, s, gen, sim.NewRNG(seed))
+	if err != nil {
+		return Summary{}, err
+	}
+	m.SetObs(ob)
+	return m.Run(), nil
 }
 
 // RunTraced is Run with a JSONL execution trace (one event per step

@@ -74,8 +74,8 @@ func TestFacadeFixedWorkload(t *testing.T) {
 
 func TestFacadeArtifacts(t *testing.T) {
 	ids := ArtifactIDs()
-	if len(ids) != 11 {
-		t.Fatalf("ArtifactIDs = %v, want the paper's 10 artifacts + exp4", ids)
+	if len(ids) != 12 {
+		t.Fatalf("ArtifactIDs = %v, want the paper's 10 artifacts + exp4 + phases", ids)
 	}
 	out, err := RegenerateArtifact("table5", Options{Duration: 60_000 * Millisecond, SolverTol: 0.2})
 	if err != nil {

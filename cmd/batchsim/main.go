@@ -13,7 +13,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"batchsched"
 	"batchsched/internal/metrics"
@@ -38,6 +41,14 @@ func main() {
 		traceFile = flag.String("trace", "", "write a JSONL execution trace to this file (single rep only)")
 		asJSON    = flag.Bool("json", false, "print the summary as JSON")
 
+		traceOut        = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file (single rep)")
+		metricsOut      = flag.String("metrics-out", "", "write the sampled metrics time-series as CSV to this file (single rep)")
+		metricsInterval = flag.Float64("metrics-interval", 1000, "metrics sampling interval, virtual milliseconds")
+		auditOut        = flag.String("audit", "", "write the scheduler decision audit as JSONL to this file (single rep)")
+		reportOut       = flag.String("report", "", "write a self-contained HTML report to this file (single rep)")
+		cpuProfile      = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile      = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
 		mtbf         = flag.Float64("mtbf", 0, "per-node mean time between crashes, seconds (0 = no crashes)")
 		mttr         = flag.Float64("mttr", 10, "mean outage per crash, seconds (with -mtbf)")
 		straggler    = flag.String("straggler", "", "straggler spec mtbf/duration/factor, seconds (e.g. 200/20/3)")
@@ -48,6 +59,33 @@ func main() {
 		restartDelay = flag.Float64("restartdelay", 0, "hold aborted transactions back, seconds")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := batchsched.DefaultConfig()
 	cfg.ArrivalRate = *lambda
@@ -125,7 +163,38 @@ func main() {
 		ci  batchsched.CI
 		err error
 	)
-	if *check {
+	if *traceOut != "" || *metricsOut != "" || *auditOut != "" || *reportOut != "" {
+		// The observability exporters describe one run; replications and
+		// -check are incompatible with them.
+		ob := batchsched.NewObs()
+		ob.SetSampleInterval(batchsched.Time(*metricsInterval * float64(batchsched.Millisecond)))
+		sum, err = batchsched.RunObserved(cfg, *schedName, params, gen, *seed, ob)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+		title := fmt.Sprintf("%s %s lambda=%g seed=%d", *schedName, *wl, *lambda, *seed)
+		writeObs := func(path string, fn func(io.Writer) error) {
+			if path == "" {
+				return
+			}
+			f, ferr := os.Create(path)
+			if ferr == nil {
+				ferr = fn(f)
+				if cerr := f.Close(); ferr == nil {
+					ferr = cerr
+				}
+			}
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "batchsim: %v\n", ferr)
+				os.Exit(1)
+			}
+		}
+		writeObs(*traceOut, ob.WriteChromeTrace)
+		writeObs(*metricsOut, ob.WriteMetricsCSV)
+		writeObs(*auditOut, ob.WriteAuditJSONL)
+		writeObs(*reportOut, func(w io.Writer) error { return ob.WriteHTMLReport(w, title) })
+	} else if *check {
 		// Serializability verification runs per replication.
 		var sums []batchsched.Summary
 		for r := 0; r < *reps; r++ {

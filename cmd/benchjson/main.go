@@ -11,6 +11,14 @@
 // with -benchmem — B/op and allocs/op), merges the snapshot into the
 // existing file, and whenever both a "pre" and a "post" snapshot are present
 // recomputes the speedup section (time and allocation ratios pre/post).
+//
+// Compare mode gates performance regressions instead of recording:
+//
+//	go run ./cmd/benchjson -compare -max-regress 15 BENCH_core.json new.json
+//
+// It diffs the two baselines' "post" snapshots benchmark by benchmark and
+// exits nonzero when any shared benchmark's ns/op regressed by more than
+// -max-regress percent.
 package main
 
 import (
@@ -97,7 +105,17 @@ func main() {
 	name := flag.String("snapshot", "post", "snapshot name to record (e.g. pre, post)")
 	note := flag.String("note", "", "free-form note stored with the snapshot")
 	out := flag.String("out", "BENCH_core.json", "baseline file to update")
+	compare := flag.Bool("compare", false, "compare two baseline files (old.json new.json) instead of recording")
+	maxRegress := flag.Float64("max-regress", 15, "with -compare: maximum tolerated ns/op regression, percent")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *maxRegress))
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	benches, err := parseBench(sc)
@@ -161,4 +179,73 @@ func main() {
 
 func round2(x float64) float64 {
 	return float64(int64(x*100+0.5)) / 100
+}
+
+// loadBaseline reads a baseline JSON file and picks the snapshot to compare:
+// "post" when present, otherwise the file's only snapshot.
+func loadBaseline(path string) (snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var bl baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if s, ok := bl.Snapshots["post"]; ok {
+		return s, nil
+	}
+	if len(bl.Snapshots) == 1 {
+		for _, s := range bl.Snapshots {
+			return s, nil
+		}
+	}
+	return snapshot{}, fmt.Errorf("%s: no \"post\" snapshot and %d snapshots to choose from", path, len(bl.Snapshots))
+}
+
+// runCompare diffs the "post" snapshots of two baseline files and returns the
+// process exit code: 0 when every shared benchmark's ns/op regression stays
+// within maxRegress percent, 1 otherwise.
+func runCompare(oldPath, newPath string, maxRegress float64) int {
+	oldSnap, err := loadBaseline(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newSnap, err := loadBaseline(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(oldSnap.Benches))
+	for n := range oldSnap.Benches {
+		if _, ok := newSnap.Benches[n]; ok {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: the two snapshots share no benchmarks")
+		return 2
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-12s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failed := false
+	for _, n := range names {
+		o, nw := oldSnap.Benches[n], newSnap.Benches[n]
+		delta := (nw.NsPerOp/o.NsPerOp - 1) * 100
+		mark := ""
+		if delta > maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%%%s\n", n, o.NsPerOp, nw.NsPerOp, delta, mark)
+	}
+	if failed {
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op\n", maxRegress)
+		return 1
+	}
+	fmt.Printf("OK: all %d shared benchmarks within %.1f%% of baseline\n", len(names), maxRegress)
+	return 0
 }

@@ -13,6 +13,7 @@ import (
 	"batchsched/internal/fault"
 	"batchsched/internal/machine"
 	"batchsched/internal/metrics"
+	"batchsched/internal/obs"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 	"batchsched/internal/workload"
@@ -86,7 +87,16 @@ func Run(p Point) metrics.Summary {
 	return metrics.Average(sums)
 }
 
-func runOnce(p Point, seed int64) metrics.Summary {
+func runOnce(p Point, seed int64) metrics.Summary { return runObserved(p, seed, nil) }
+
+// RunObserved simulates one replication (at p.Seed) of the point with the
+// / observability recorder attached. The instrumentation is passive: the
+// returned summary is identical to Run's first replication.
+func RunObserved(p Point, ob *obs.Observer) metrics.Summary {
+	return runObserved(p, p.Seed, ob)
+}
+
+func runObserved(p Point, seed int64, ob *obs.Observer) metrics.Summary {
 	params := sched.DefaultParams()
 	params.MPL = p.MPL
 	if p.K > 0 {
@@ -108,6 +118,7 @@ func runOnce(p Point, seed int64) metrics.Summary {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
+	m.SetObs(ob)
 	return m.Run()
 }
 

@@ -98,9 +98,9 @@ func TestBestC2PLMPicksAnMPL(t *testing.T) {
 }
 
 func TestFindArtifact(t *testing.T) {
-	ids := []string{"fig8", "table2", "fig9", "table3", "fig10", "fig11", "table4", "fig12", "fig13", "table5", "exp4"}
+	ids := []string{"fig8", "table2", "fig9", "table3", "fig10", "fig11", "table4", "fig12", "fig13", "table5", "exp4", "phases"}
 	if len(Artifacts) != len(ids) {
-		t.Fatalf("artifact count = %d, want %d (one per table and figure)", len(Artifacts), len(ids))
+		t.Fatalf("artifact count = %d, want %d (one per table and figure, plus extensions)", len(Artifacts), len(ids))
 	}
 	for _, id := range ids {
 		a, ok := FindArtifact(id)
@@ -176,6 +176,7 @@ func TestAllArtifactsSmoke(t *testing.T) {
 		"fig13":  18, // 3 DD x 6 sigma
 		"table5": 2,  // GOW, LOW
 		"exp4":   5,  // one per MTBF (incl. failure-free)
+		"phases": 6,  // one per scheduler
 	}
 	for _, a := range Artifacts {
 		a := a

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"batchsched/internal/metrics"
+	"batchsched/internal/obs"
 	"batchsched/internal/report"
 	"batchsched/internal/sim"
 	"fmt"
@@ -67,6 +68,7 @@ var Artifacts = []Artifact{
 	{"fig13", "Fig. 13: error ratio vs throughput at RT=70s (Exp.3)", Fig13},
 	{"table5", "Table 5: sensitivity degradation ratio TPS(σ=10)/TPS(σ=0) (Exp.3)", Table5},
 	{"exp4", "Exp. 4: node MTBF vs response time and restart rate under faults (extension)", Exp4},
+	{"phases", "Phase breakdown: where transaction time goes per scheduler (Exp.1, DD=1, λ=0.6; observability extension)", Phases},
 }
 
 // FindArtifact looks an artifact up by ID.
@@ -419,6 +421,57 @@ func Table5(o Options) *report.Table {
 			ratio := 100 * data[dd][10][s] / data[dd][0][s]
 			row = append(row, fmt.Sprintf("%s%% (%s%%)", report.F(ratio, 1), report.F(PaperTable5[dd][s], 1)))
 		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// phaseNames are the lifecycle phases of the breakdown table, in lifecycle
+// order ("txn" is the whole in-system residence).
+var phaseNames = []string{"txn", "admit-wait", "lock-wait", "execute", "commit"}
+
+// Phases regenerates the per-phase virtual-time decomposition at the Fig.-8
+// operating point λ=0.6 TPS: for each scheduler, the total virtual time
+// transactions spent waiting for admission, waiting for locks, executing
+// cohorts, and committing — the explanation behind the response-time
+// ordering (an observability-layer extension; the paper reports only the
+// aggregate response times).
+func Phases(o Options) *report.Table {
+	o = o.norm()
+	type res struct {
+		totals      map[string]obs.PhaseTotal
+		completions int
+	}
+	results := make([]res, len(sixSchedulers))
+	parallelEach(len(sixSchedulers), func(i int) {
+		p := o.point()
+		p.Scheduler = sixSchedulers[i]
+		p.Lambda = 0.6
+		ob := obs.New()
+		ob.SetSampleInterval(0) // the table consumes spans only
+		sum := RunObserved(p, ob)
+		totals := make(map[string]obs.PhaseTotal)
+		for _, pt := range ob.PhaseTotals("txn") {
+			totals[pt.Name] = pt
+		}
+		results[i] = res{totals, sum.Completions}
+	})
+	t := &report.Table{
+		Title: "Phase breakdown — Exp.1: total virtual time per lifecycle phase (s). DD=1, NumFiles=16, λ=0.6 TPS.",
+		Note: "\"txn\" is total in-system residence; \"/txn\" columns divide by completions. " +
+			"Expected ordering: lock-wait C2PL > GOW/LOW ≈ ASL > NODC (=0); OPT trades waits for restarts.",
+		Header: append(append([]string{"scheduler"}, phaseNames...), "lock-wait/txn(s)", "completions"),
+	}
+	for i, s := range sixSchedulers {
+		row := []string{s}
+		for _, ph := range phaseNames {
+			row = append(row, report.F(results[i].totals[ph].Total.Seconds(), 1))
+		}
+		perTxn := 0.0
+		if n := results[i].completions; n > 0 {
+			perTxn = results[i].totals["lock-wait"].Total.Seconds() / float64(n)
+		}
+		row = append(row, report.F(perTxn, 2), fmt.Sprint(results[i].completions))
 		t.AddRow(row...)
 	}
 	return t

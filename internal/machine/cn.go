@@ -2,6 +2,7 @@ package machine
 
 import (
 	"batchsched/internal/metrics"
+	"batchsched/internal/obs"
 	"batchsched/internal/sim"
 )
 
@@ -20,6 +21,17 @@ const (
 	opStepDone             // CN receive of job.run's completion
 	opCommit               // validation + commitment of job.e
 )
+
+// cnOpNames label the CN job spans of the observability layer, indexed by
+// cnOp (precomputed so tracing allocates no strings per job).
+var cnOpNames = [...]string{
+	opClosure:  "cn:closure",
+	opAdmit:    "cn:admit",
+	opRequest:  "cn:request",
+	opDispatch: "cn:dispatch",
+	opStepDone: "cn:step-done",
+	opCommit:   "cn:commit",
+}
 
 type cnContOp uint8
 
@@ -77,12 +89,18 @@ type controlNode struct {
 	curCPU  sim.Time
 	curCont cnCont
 	onDone  sim.Handler
+
+	// ob records one span per job service when observability is enabled
+	// (nil Observer = disabled, zero cost); curSpan is the in-flight job's.
+	ob      *obs.Observer
+	curSpan obs.SpanID
 }
 
 func newControlNode(eng *sim.Engine, met *metrics.Collector) *controlNode {
 	c := &controlNode{eng: eng, met: met}
-	c.onDone = func(sim.Time) {
+	c.onDone = func(now sim.Time) {
 		c.met.CNBusy(c.curCPU)
+		c.ob.End(c.curSpan, now)
 		cont := c.curCont
 		c.curCont = cnCont{}
 		switch cont.op {
@@ -123,6 +141,13 @@ func (c *controlNode) next() {
 	if c.head > 1024 && c.head*2 > len(c.q) {
 		c.q = append(c.q[:0], c.q[c.head:]...)
 		c.head = 0
+	}
+	if c.ob.Enabled() {
+		var txn int64
+		if job.e != nil {
+			txn = job.e.txn.ID
+		}
+		c.curSpan = c.ob.Begin(cnOpNames[job.op], "cn", txn, -1, -1, 0, c.eng.Now())
 	}
 	var cpu sim.Time
 	var cont cnCont

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"batchsched/internal/metrics"
+	"batchsched/internal/obs"
 	"batchsched/internal/sim"
 )
 
@@ -23,6 +24,9 @@ type cohort struct {
 	// dead marks a cohort whose transaction aborted (crash on a sibling
 	// node, or step retry); the serving node drops it without calling done.
 	dead bool
+	// span is the cohort's residency span ("cohort", cat "io") when
+	// observability is enabled; 0 otherwise.
+	span obs.SpanID
 }
 
 // dpn is a data-processing node: a single server that interleaves its
@@ -55,22 +59,27 @@ type dpn struct {
 	curSlice   sim.Time
 	curElapsed sim.Time
 	onQuantum  sim.Handler
+
+	// ob records cohort residency spans when observability is enabled.
+	ob *obs.Observer
 }
 
 func newDPN(id int, eng *sim.Engine, met *metrics.Collector) *dpn {
 	d := &dpn{id: id, eng: eng, met: met}
-	d.onQuantum = func(sim.Time) {
+	d.onQuantum = func(now sim.Time) {
 		d.pending = nil
 		d.met.DPNBusy(d.id, d.curElapsed)
 		c := d.ring[d.cur]
 		if c.dead {
 			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
+			d.ob.End(c.span, now)
 			d.serve()
 			return
 		}
 		c.remaining -= d.curSlice
 		if c.remaining <= 0 {
 			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
+			d.ob.End(c.span, now)
 			if c.done != nil {
 				c.done()
 			} else if d.complete != nil {
@@ -93,6 +102,11 @@ func (d *dpn) add(c *cohort) {
 	if d.down {
 		panic("machine: cohort delivered to a down node")
 	}
+	if d.ob.Enabled() && c.run != nil {
+		t := c.run.e.txn
+		c.span = d.ob.Begin("cohort", "io", t.ID, d.id, t.StepIndex,
+			c.run.e.stepSpan, d.eng.Now())
+	}
 	d.ring = append(d.ring, c)
 	if !d.busy {
 		d.busy = true
@@ -113,6 +127,9 @@ func (d *dpn) crash() []*cohort {
 		d.pending = nil
 	}
 	killed := d.ring
+	for _, c := range killed {
+		d.ob.End(c.span, d.eng.Now())
+	}
 	d.ring = nil
 	d.cur = 0
 	d.busy = false
@@ -139,6 +156,7 @@ func (d *dpn) serve() {
 		if !d.ring[d.cur].dead {
 			break
 		}
+		d.ob.End(d.ring[d.cur].span, d.eng.Now())
 		d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
 	}
 	if len(d.ring) == 0 {

@@ -154,7 +154,13 @@ func (m *Machine) abortRun(run *stepRun, reason string) {
 // deadlock-victim and validation-failure paths.
 func (m *Machine) abortTxn(e *exec, reason string) {
 	e.run = nil
+	if e.stepSpan != 0 {
+		m.ob.End(e.stepSpan, m.eng.Now())
+		e.stepSpan = 0
+	}
+	m.endWait(e)
 	m.met.Restart()
+	m.obsRestart.Inc()
 	e.txn.Restarts++
 	m.sch.Aborted(e.txn)
 	e.txn.StepIndex = 0

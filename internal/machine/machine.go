@@ -6,6 +6,7 @@ import (
 	"batchsched/internal/fault"
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
+	"batchsched/internal/obs"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 )
@@ -47,6 +48,15 @@ type exec struct {
 	admitCharged bool
 	admitted     bool
 	run          *stepRun // current step dispatch, while phRunning
+
+	// Observability state (all zero when the observer is disabled): the
+	// transaction's lifecycle span and its currently open phase spans.
+	txnSpan    obs.SpanID
+	admitSpan  obs.SpanID
+	waitSpan   obs.SpanID
+	stepSpan   obs.SpanID
+	commitSpan obs.SpanID
+	waitSince  sim.Time // start of the open lock-wait span
 }
 
 // Machine is one Shared-Nothing machine simulation run: engine, control
@@ -63,6 +73,20 @@ type Machine struct {
 	dpns  []*dpn
 	obs   Observer
 	inj   *fault.Injector // nil on the failure-free path
+
+	// ob is the observability layer; nil (the default) disables it, and
+	// every hook below is nil-receiver safe so the disabled path costs
+	// one pointer check and no allocation. The derived instruments are
+	// nil exactly when ob is nil.
+	ob          *obs.Observer
+	obsGrant    *obs.Counter
+	obsBlock    *obs.Counter
+	obsDelay    *obs.Counter
+	obsRestart  *obs.Counter
+	obsCommit   *obs.Counter
+	obsLockWait *obs.Histogram
+	obsReqCPU   *obs.Histogram
+	obsRetries  *obs.Histogram
 
 	arrivalRNG  *sim.RNG
 	workloadRNG *sim.RNG
@@ -150,6 +174,60 @@ func (m *Machine) fileLoad(f model.FileID) float64 {
 // SetObserver installs an execution observer (history recorder etc.).
 func (m *Machine) SetObserver(o Observer) { m.obs = o }
 
+// SetObs attaches the virtual-time observability layer: spans over the
+// transaction lifecycle, control-node jobs and DPN cohorts; counters,
+// gauges and histograms in o's registry; and the scheduler decision audit
+// where the scheduler supports it. Call before Run. A nil o is ignored —
+// the layer stays disabled and the instrumented paths reduce to nil checks,
+// leaving the event sequence (and thus the summary) identical to an
+// unobserved run.
+func (m *Machine) SetObs(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	m.ob = o
+	m.cn.ob = o
+	for _, d := range m.dpns {
+		d.ob = o
+	}
+	m.obsGrant = o.Counter("grants")
+	m.obsBlock = o.Counter("blocks")
+	m.obsDelay = o.Counter("delays")
+	m.obsRestart = o.Counter("restarts")
+	m.obsCommit = o.Counter("commits")
+	m.obsLockWait = o.Histogram("lock_wait_ms",
+		[]float64{1, 10, 100, 1_000, 10_000, 60_000, 300_000})
+	m.obsReqCPU = o.Histogram("request_cpu_ms",
+		[]float64{0.5, 1, 2, 5, 10, 20, 50, 100})
+	m.obsRetries = o.Histogram("restarts_per_txn",
+		[]float64{0, 1, 2, 5, 10})
+	hCNQ := o.Histogram("cn_queue_depth",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64})
+	o.Gauge("cn_queue", func() float64 {
+		v := float64(m.cn.queueLen())
+		hCNQ.Observe(v)
+		return v
+	})
+	o.Gauge("active_txns", func() float64 { return float64(m.active) })
+	o.Gauge("waiting_txns", func() float64 {
+		n := len(m.delayed)
+		for _, l := range m.blocked {
+			n += len(l)
+		}
+		return float64(n)
+	})
+	o.Gauge("cn_busy_ms", func() float64 { return m.met.CNBusyTime().Milliseconds() })
+	for i := range m.dpns {
+		i := i
+		o.Gauge(fmt.Sprintf("dpn%d_queue", i), func() float64 { return float64(m.dpns[i].queueLen()) })
+		o.Gauge(fmt.Sprintf("dpn%d_busy_ms", i), func() float64 { return m.met.DPNBusyTime(i).Milliseconds() })
+	}
+	o.Audit().SetClock(m.eng.Now)
+	if a, ok := m.sch.(sched.Audited); ok {
+		a.SetAudit(o.Audit())
+	}
+}
+
 // Engine exposes the simulation engine (for tests that drive time manually).
 func (m *Machine) Engine() *sim.Engine { return m.eng }
 
@@ -174,7 +252,9 @@ func (m *Machine) Run() metrics.Summary {
 		}
 		m.scheduleNextArrival()
 	}
+	m.ob.StartSampling(m.eng)
 	m.eng.RunUntil(m.cfg.Duration)
+	m.ob.Finish(m.eng.Now())
 	return m.met.Summarize(m.cfg.Duration)
 }
 
@@ -186,6 +266,9 @@ func (m *Machine) scheduleNextArrival() {
 func (m *Machine) arrive(t *model.Txn) {
 	m.met.Arrival(m.eng.Now())
 	e := &exec{txn: t}
+	if m.ob.Enabled() {
+		e.txnSpan = m.ob.Begin("txn", "txn", t.ID, -1, -1, 0, m.eng.Now())
+	}
 	m.tryAdmit(e)
 }
 
@@ -223,6 +306,9 @@ func (m *Machine) admitBody(e *exec) (sim.Time, cnCont) {
 
 func (m *Machine) parkAdmit(e *exec) {
 	e.phase = phAdmit
+	if m.ob.Enabled() && e.admitSpan == 0 {
+		e.admitSpan = m.ob.Begin("admit-wait", "txn", e.txn.ID, -1, -1, e.txnSpan, m.eng.Now())
+	}
 	m.admitQ = append(m.admitQ, e)
 }
 
@@ -245,19 +331,24 @@ func (m *Machine) requestLock(e *exec) {
 // continuation (the only mutators of StepIndex) can run in between.
 func (m *Machine) requestBody(e *exec) (sim.Time, cnCont) {
 	out := m.sch.Request(e.txn)
+	m.obsReqCPU.Observe(out.CPU.Milliseconds())
 	switch out.Decision {
 	case sched.Grant:
 		m.met.Granted()
+		m.obsGrant.Inc()
 		return out.CPU, cnCont{op: contExec, e: e}
 	case sched.Block:
 		m.met.Block()
+		m.obsBlock.Inc()
 		return out.CPU, cnCont{op: contBlock, e: e}
 	case sched.Delay:
 		m.met.Delay()
+		m.obsDelay.Inc()
 		return out.CPU, cnCont{op: contDelay, e: e}
 	case sched.Abort:
 		// Deadlock victim (strict 2PL): roll back, release, restart.
 		m.met.Restart()
+		m.obsRestart.Inc()
 		e.txn.Restarts++
 		return out.CPU, cnCont{op: contAbort, e: e}
 	default:
@@ -289,22 +380,35 @@ func (m *Machine) cnFinish(c cnCont) {
 	case contPark:
 		m.parkAdmit(c.e)
 	case contStart:
+		if c.e.admitSpan != 0 {
+			m.ob.End(c.e.admitSpan, m.eng.Now())
+			c.e.admitSpan = 0
+		}
 		m.nextStep(c.e)
 	case contExec:
-		m.executeStep(c.e)
+		e := c.e
+		m.endWait(e)
+		if m.ob.Enabled() {
+			e.stepSpan = m.ob.Begin("execute", "txn", e.txn.ID, -1,
+				e.txn.StepIndex, e.txnSpan, m.eng.Now())
+		}
+		m.executeStep(e)
 		if !m.cfg.NoWakeOnGrant {
 			m.wakeDelayed() // a grant changes the scheduling state
 		}
 	case contBlock:
 		e := c.e
 		e.phase = phBlocked
+		m.beginWait(e)
 		file := e.txn.CurrentStep().File
 		m.blocked[file] = append(m.blocked[file], e)
 	case contDelay:
 		c.e.phase = phDelayed
+		m.beginWait(c.e)
 		m.delayed = append(m.delayed, c.e)
 	case contAbort:
 		e := c.e
+		m.endWait(e)
 		m.sch.Aborted(e.txn)
 		e.txn.StepIndex = 0
 		if m.obs != nil {
@@ -320,6 +424,10 @@ func (m *Machine) cnFinish(c cnCont) {
 		m.commitFinish(c.e)
 	case contCommitFail:
 		e := c.e
+		if e.commitSpan != 0 {
+			m.ob.End(e.commitSpan, m.eng.Now())
+			e.commitSpan = 0
+		}
 		m.sch.Aborted(e.txn)
 		e.txn.StepIndex = 0
 		if m.obs != nil {
@@ -329,6 +437,30 @@ func (m *Machine) cnFinish(c cnCont) {
 	default:
 		panic(fmt.Sprintf("machine: unknown CN continuation %d", c.op))
 	}
+}
+
+// beginWait opens the transaction's lock-wait span (blocked or
+// policy-delayed both count as waiting for a lock); reentrant for a
+// transaction that bounces between the two without a grant in between.
+func (m *Machine) beginWait(e *exec) {
+	if !m.ob.Enabled() || e.waitSpan != 0 {
+		return
+	}
+	e.waitSince = m.eng.Now()
+	e.waitSpan = m.ob.Begin("lock-wait", "txn", e.txn.ID, -1,
+		e.txn.StepIndex, e.txnSpan, e.waitSince)
+}
+
+// endWait closes the open lock-wait span (if any) and feeds the lock-wait
+// histogram with its length.
+func (m *Machine) endWait(e *exec) {
+	if e.waitSpan == 0 {
+		return
+	}
+	now := m.eng.Now()
+	m.ob.End(e.waitSpan, now)
+	m.obsLockWait.Observe((now - e.waitSince).Milliseconds())
+	e.waitSpan = 0
 }
 
 // executeStep runs the granted step: the CN sends the transaction to the
@@ -436,6 +568,10 @@ func (m *Machine) stepDone(run *stepRun) {
 	}
 	e := run.e
 	e.run = nil
+	if e.stepSpan != 0 {
+		m.ob.End(e.stepSpan, m.eng.Now())
+		e.stepSpan = 0
+	}
 	m.met.StepExecuted()
 	step := e.txn.StepIndex
 	e.txn.StepIndex++
@@ -449,6 +585,10 @@ func (m *Machine) stepDone(run *stepRun) {
 // then commit CPU, release, and a system-wide wake-up.
 func (m *Machine) commit(e *exec) {
 	e.phase = phAtCN
+	if m.ob.Enabled() {
+		e.commitSpan = m.ob.Begin("commit", "txn", e.txn.ID, -1, -1,
+			e.txnSpan, m.eng.Now())
+	}
 	m.cn.submit(cnJob{op: opCommit, e: e})
 }
 
@@ -458,6 +598,7 @@ func (m *Machine) commitBody(e *exec) (sim.Time, cnCont) {
 	ok, vcpu := m.sch.Validate(e.txn)
 	if !ok {
 		m.met.Restart()
+		m.obsRestart.Inc()
 		e.txn.Restarts++
 		return vcpu, cnCont{op: contCommitFail, e: e}
 	}
@@ -473,6 +614,13 @@ func (m *Machine) commitFinish(e *exec) {
 	m.completed++
 	now := m.eng.Now()
 	m.met.Completion(now, now-e.txn.Arrival)
+	if m.ob.Enabled() {
+		m.ob.End(e.commitSpan, now)
+		e.commitSpan = 0
+		m.ob.End(e.txnSpan, now)
+		m.obsCommit.Inc()
+		m.obsRetries.Observe(float64(e.txn.Restarts))
+	}
 	if m.obs != nil {
 		m.obs.Committed(e.txn, now)
 	}

@@ -137,6 +137,13 @@ func (c *Collector) MsgAbort()   { c.msgAborts++ }
 // DPNBusy accumulates busy time for one data-processing node.
 func (c *Collector) DPNBusy(node int, d sim.Time) { c.dpnBusy[node] += d }
 
+// CNBusyTime returns the control-node busy time accumulated so far — the
+// observability layer samples it into a utilization time-series.
+func (c *Collector) CNBusyTime() sim.Time { return c.cnBusy }
+
+// DPNBusyTime returns one node's busy time accumulated so far.
+func (c *Collector) DPNBusyTime(node int) sim.Time { return c.dpnBusy[node] }
+
 // Summary is the digested result of one run.
 type Summary struct {
 	// Window is the measured span (run duration minus warmup).

