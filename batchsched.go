@@ -281,7 +281,7 @@ func ThroughputAt70s(scheduler string, numFiles, dd int, wl string, sigma float6
 		Sigma:     sigma,
 		Seed:      1,
 	}
-	lambda := experiments.SolveLambdaAtRT(p, experiments.TargetRT, 0.02, 1.4, 0.01)
+	lambda := experiments.SolveLambdaAtRT(p, 1, experiments.TargetRT, 0.02, 1.4, 0.01)
 	p.Lambda = lambda
 	return experiments.Run(p).TPS
 }

@@ -3,7 +3,6 @@ package experiments
 import (
 	"math"
 
-	"batchsched/internal/fault"
 	"batchsched/internal/report"
 	"batchsched/internal/sim"
 )
@@ -30,19 +29,13 @@ const (
 // the availability column is scheduler-independent.
 func Exp4(o Options) *report.Table {
 	o = o.norm()
-	var pts []Point
-	for _, mtbf := range Exp4MTBFs {
-		for _, s := range sixSchedulers {
-			p := o.point()
-			p.Scheduler = s
-			p.Lambda = exp4Lambda
-			p.DD = exp4DD
-			p.RestartDelay = exp4RestartDelay
-			if mtbf > 0 {
-				p.Faults = fault.Config{MTBF: mtbf, MTTR: exp4MTTR}
-			}
-			pts = append(pts, p)
-		}
+	cells := Exp4Spec(o).Cells()
+	pts := make([]Point, len(cells))
+	for i, c := range cells {
+		pts[i] = artifactPoint(o, c)
+		// The failure-free reference row keeps the same restart hold-back
+		// as the faulty rows (it only matters when aborts happen).
+		pts[i].RestartDelay = exp4RestartDelay
 	}
 	sums := RunAll(pts)
 	t := &report.Table{

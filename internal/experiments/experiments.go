@@ -6,9 +6,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"batchsched/internal/fault"
 	"batchsched/internal/machine"
@@ -16,6 +15,7 @@ import (
 	"batchsched/internal/obs"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
+	"batchsched/internal/sweep"
 	"batchsched/internal/workload"
 )
 
@@ -122,30 +122,18 @@ func runObserved(p Point, seed int64, ob *obs.Observer) metrics.Summary {
 	return m.Run()
 }
 
-// RunAll simulates many points concurrently (one goroutine per CPU) and
-// returns summaries in input order.
+// RunAll simulates many points concurrently on the shared sweep worker
+// pool (GOMAXPROCS workers) and returns summaries in input order. A panic
+// in any point — e.g. an unknown scheduler name — is re-raised here after
+// the other points finish, preserving the pre-pool contract.
 func RunAll(pts []Point) []metrics.Summary {
 	out := make([]metrics.Summary, len(pts))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	workers := runtime.NumCPU()
-	if workers > len(pts) {
-		workers = len(pts)
+	if err := sweep.ForEach(context.Background(), 0, len(pts), func(i int) error {
+		out[i] = Run(pts[i])
+		return nil
+	}); err != nil {
+		panic(err)
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				out[i] = Run(pts[i])
-			}
-		}()
-	}
-	for i := range pts {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 	return out
 }
 
@@ -156,10 +144,16 @@ const TargetRT = 70 * sim.Second
 // SolveLambdaAtRT finds the largest arrival rate at which the point's mean
 // response time stays at (or below) the target — the paper's "throughput
 // (TPS) at Resp.Time = 70 sec". It brackets [lo, hi] and bisects on lambda
-// to within tol. Mean RT is monotone in lambda for a fixed seed, which the
-// solver relies on. When even lo exceeds the target it returns lo; when hi
-// stays under it returns hi.
-func SolveLambdaAtRT(p Point, target sim.Time, lo, hi, tol float64) float64 {
+// to within tol. reps > 0 overrides the point's replication count: every
+// probe averages that many independent seeds and the bisection compares the
+// replicated mean against the target, so the knee is not hostage to one
+// seed's noise (reps <= 0 keeps p.Reps, minimum 1). Mean RT is monotone in
+// lambda for a fixed seed set, which the solver relies on. When even lo
+// exceeds the target it returns lo; when hi stays under it returns hi.
+func SolveLambdaAtRT(p Point, reps int, target sim.Time, lo, hi, tol float64) float64 {
+	if reps > 0 {
+		p.Reps = reps
+	}
 	rtAt := func(lambda float64) sim.Time {
 		q := p
 		q.Lambda = lambda

@@ -56,8 +56,8 @@ func TestSolverMonotone(t *testing.T) {
 		Duration: 200_000 * sim.Millisecond}
 	// Solve for two different RT targets: the lambda at the lower target
 	// must not exceed the one at the higher target.
-	l1 := SolveLambdaAtRT(p, 5*sim.Second, 0.05, 1.4, 0.02)
-	l2 := SolveLambdaAtRT(p, 30*sim.Second, 0.05, 1.4, 0.02)
+	l1 := SolveLambdaAtRT(p, 0, 5*sim.Second, 0.05, 1.4, 0.02)
+	l2 := SolveLambdaAtRT(p, 0, 30*sim.Second, 0.05, 1.4, 0.02)
 	if l1 > l2 {
 		t.Errorf("solver not monotone: λ(5s)=%v > λ(30s)=%v", l1, l2)
 	}
@@ -70,11 +70,11 @@ func TestSolverSaturatesAtBounds(t *testing.T) {
 	p := Point{Scheduler: "NODC", NumFiles: 16, DD: 1, Load: Exp1, Seed: 1,
 		Duration: 50_000 * sim.Millisecond}
 	// A 50s window cannot produce 70s response times: hi is returned.
-	if l := SolveLambdaAtRT(p, TargetRT, 0.05, 1.0, 0.02); l != 1.0 {
+	if l := SolveLambdaAtRT(p, 0, TargetRT, 0.05, 1.0, 0.02); l != 1.0 {
 		t.Errorf("unreachable target: λ = %v, want hi bound 1.0", l)
 	}
 	// A 0-second target is below even the lightest load: lo is returned.
-	if l := SolveLambdaAtRT(p, 0, 0.05, 1.0, 0.02); l != 0.05 {
+	if l := SolveLambdaAtRT(p, 0, 0, 0.05, 1.0, 0.02); l != 0.05 {
 		t.Errorf("impossible target: λ = %v, want lo bound 0.05", l)
 	}
 }

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"batchsched/internal/sim"
+	"batchsched/internal/sweep"
+)
+
+func TestExp1SpecShape(t *testing.T) {
+	o := Options{Duration: 100_000 * sim.Millisecond}
+	cells := Exp1Spec(o).Cells()
+	if want := len(fig8Lambdas) * len(sixSchedulers); len(cells) != want {
+		t.Fatalf("exp1 cells = %d, want %d", len(cells), want)
+	}
+	// Scheduler is the fastest-varying dimension, so a positional consumer
+	// (the Fig. 8 regenerator) reads cells[li*6+si].
+	for li, lambda := range fig8Lambdas {
+		for si, s := range sixSchedulers {
+			c := cells[li*len(sixSchedulers)+si]
+			if c.Lambda != lambda || c.Scheduler != s {
+				t.Fatalf("cell %d = (λ=%v, %s), want (λ=%v, %s)",
+					c.Index, c.Lambda, c.Scheduler, lambda, s)
+			}
+			if c.NumFiles != 16 || c.DD != 1 || c.Load != "exp1" {
+				t.Fatalf("cell %d base params: %+v", c.Index, c)
+			}
+		}
+	}
+}
+
+func TestExp4SpecShape(t *testing.T) {
+	cells := Exp4Spec(Options{Duration: 100_000 * sim.Millisecond}).Cells()
+	if want := len(Exp4MTBFs) * len(sixSchedulers); len(cells) != want {
+		t.Fatalf("exp4 cells = %d, want %d", len(cells), want)
+	}
+	// MTBF-major, scheduler fastest — the Exp4 table reads rows positionally.
+	for mi, mtbf := range Exp4MTBFs {
+		c := cells[mi*len(sixSchedulers)]
+		if c.MTBFSeconds != mtbf.Seconds() || c.Lambda != exp4Lambda || c.DD != exp4DD {
+			t.Fatalf("mtbf row %d starts with %+v", mi, c)
+		}
+	}
+}
+
+func TestPaperSpecRegistry(t *testing.T) {
+	o := Options{Duration: 100_000 * sim.Millisecond}
+	for _, id := range []string{"exp1", "exp2", "exp3", "exp4"} {
+		s, ok := PaperSpec(id, o)
+		if !ok {
+			t.Errorf("PaperSpec(%q) missing", id)
+			continue
+		}
+		if s.Name != id {
+			t.Errorf("PaperSpec(%q).Name = %q", id, s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("PaperSpec(%q) invalid: %v", id, err)
+		}
+	}
+	if _, ok := PaperSpec("exp9", o); ok {
+		t.Error("PaperSpec accepted an unknown experiment")
+	}
+}
+
+func TestCellPointMapping(t *testing.T) {
+	c := sweep.Cell{
+		Scheduler: "GOW", Lambda: 0.8, NumFiles: 32, DD: 4, Sigma: 2,
+		MPL: 8, K: 3, Load: "exp2", DurationSeconds: 120,
+	}
+	p := CellPoint(c)
+	want := Point{
+		Scheduler: "GOW", Lambda: 0.8, NumFiles: 32, DD: 4, Sigma: 2,
+		MPL: 8, K: 3, Load: Exp2, Reps: 1, Duration: 120 * sim.Second,
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("CellPoint = %+v, want %+v", p, want)
+	}
+	// A positive MTBF switches on the Exp.4 fault model.
+	c.MTBFSeconds = 100
+	p = CellPoint(c)
+	if p.Faults.MTBF != 100*sim.Second || p.Faults.MTTR != exp4MTTR {
+		t.Errorf("fault config = %+v", p.Faults)
+	}
+	if p.RestartDelay != exp4RestartDelay {
+		t.Errorf("restart delay = %v", p.RestartDelay)
+	}
+}
+
+func TestRunCellRejectsUnknownScheduler(t *testing.T) {
+	_, err := RunCell(sweep.Cell{Scheduler: "WAT", Lambda: 0.5, NumFiles: 16, DD: 1, Load: "exp1"}, 1)
+	if err == nil || !strings.Contains(err.Error(), "WAT") {
+		t.Fatalf("unknown scheduler not rejected: %v", err)
+	}
+}
+
+// TestSweepResumeRealSimulation extends the determinism suite to the full
+// stack: the sweep engine driving real simulations through RunCell must
+// survive a mid-run halt with a torn checkpoint tail and resume to output
+// byte-identical to an uninterrupted run.
+func TestSweepResumeRealSimulation(t *testing.T) {
+	spec := sweep.Spec{
+		Name:            "resume-real",
+		Load:            "exp1",
+		Schedulers:      []string{"LOW", "NODC"},
+		Lambdas:         []float64{0.4},
+		Reps:            2,
+		Seed:            3,
+		DurationSeconds: 60,
+	}
+	encode := func(res *sweep.Result) []byte {
+		var buf bytes.Buffer
+		if err := sweep.EncodeJSONL(&buf, res.Records); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	full, err := sweep.Run(context.Background(), spec, RunCell, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encode(full)
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	if _, err := sweep.Run(context.Background(), spec, RunCell,
+		sweep.Options{Checkpoint: ckpt, HaltAfter: 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sweep.Run(context.Background(), spec, RunCell,
+		sweep.Options{Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed != 1 {
+		t.Fatalf("torn tail not dropped: %+v", resumed)
+	}
+	if got := encode(resumed); !bytes.Equal(got, want) {
+		t.Error("resumed real-simulation sweep differs from uninterrupted run")
+	}
+}
+
+// TestSolveLambdaReplicated: a positive reps argument must override the
+// point's replication count, so the bisection probes the replicated mean
+// rather than a single seed.
+func TestSolveLambdaReplicated(t *testing.T) {
+	p := Point{
+		Scheduler: "LOW", NumFiles: 16, DD: 1, Load: Exp1,
+		Seed: 5, Reps: 1, Duration: 100_000 * sim.Millisecond,
+	}
+	target := 20 * sim.Second
+	got := SolveLambdaAtRT(p, 3, target, 0.1, 1.0, 0.05)
+
+	explicit := p
+	explicit.Reps = 3
+	want := SolveLambdaAtRT(explicit, 0, target, 0.1, 1.0, 0.05)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("reps=3 solve = %v, explicit Reps=3 solve = %v", got, want)
+	}
+
+	// And the replicated probe really is Run at Reps=3: the solution must sit
+	// on the replicated mean's knee — RT(lo) <= target at Reps=3.
+	probe := explicit
+	probe.Lambda = want
+	if rt := Run(probe).MeanRT; rt > target {
+		t.Errorf("solved λ=%v has replicated RT %v > target %v", want, rt, target)
+	}
+}

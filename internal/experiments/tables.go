@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"batchsched/internal/metrics"
 	"batchsched/internal/obs"
 	"batchsched/internal/report"
 	"batchsched/internal/sim"
-	"fmt"
+	"batchsched/internal/sweep"
 )
 
 // Options scales an artifact regeneration. The zero value reproduces the
@@ -81,20 +84,13 @@ func FindArtifact(id string) (Artifact, bool) {
 	return Artifact{}, false
 }
 
-// Fig8 regenerates the response-time-versus-arrival-rate curves.
+// Fig8 regenerates the response-time-versus-arrival-rate curves from the
+// Exp.1 sweep spec (cells expand λ-major, scheduler fastest — the table's
+// row/column order).
 func Fig8(o Options) *report.Table {
 	o = o.norm()
-	lambdas := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4}
-	var pts []Point
-	for _, l := range lambdas {
-		for _, s := range sixSchedulers {
-			p := o.point()
-			p.Scheduler = s
-			p.Lambda = l
-			pts = append(pts, p)
-		}
-	}
-	sums := RunAll(pts)
+	lambdas := fig8Lambdas
+	sums := runCells(o, Exp1Spec(o).Cells())
 	t := &report.Table{
 		Title:  "Fig. 8 — Exp.1: Arrival Rate vs. Mean Response Time (s). DD=1, NumFiles=16.",
 		Note:   "Paper reference points: RT=70s is crossed at about 1.04 (NODC), 0.72 (ASL), 0.67 (GOW), 0.65 (LOW), 0.35 (C2PL), 0.24 (OPT) TPS.",
@@ -112,10 +108,10 @@ func Fig8(o Options) *report.Table {
 	return t
 }
 
-// rt70TPS solves the RT=70s operating point and returns the throughput
-// measured there.
+// rt70TPS solves the RT=70s operating point (replicating each probe p.Reps
+// times) and returns the throughput measured there.
 func rt70TPS(p Point, tol float64) float64 {
-	lambda := SolveLambdaAtRT(p, TargetRT, 0.02, 1.4, tol)
+	lambda := SolveLambdaAtRT(p, 0, TargetRT, 0.02, 1.4, tol)
 	p.Lambda = lambda
 	return Run(p).TPS
 }
@@ -236,23 +232,16 @@ func Fig10(o Options) *report.Table {
 }
 
 // Fig11 regenerates arrival rate versus response-time speedup at DD=4:
-// speedup(λ) = RT(DD=1, λ)/RT(DD=4, λ).
+// speedup(λ) = RT(DD=1, λ)/RT(DD=4, λ). The grid is the Exp.1 spec with
+// Fig. 11's arrival rates over DD ∈ {1, 4} (cells expand DD-major, then λ,
+// scheduler fastest).
 func Fig11(o Options) *report.Table {
 	o = o.norm()
-	lambdas := []float64{0.2, 0.4, 0.6, 0.8, 0.85, 0.9, 1.0, 1.1, 1.2, 1.4}
-	var pts []Point
-	for _, dd := range []int{1, 4} {
-		for _, l := range lambdas {
-			for _, s := range sixSchedulers {
-				p := o.point()
-				p.Scheduler = s
-				p.Lambda = l
-				p.DD = dd
-				pts = append(pts, p)
-			}
-		}
-	}
-	sums := RunAll(pts)
+	lambdas := fig11Lambdas
+	spec := Exp1Spec(o)
+	spec.Lambdas = fig11Lambdas
+	spec.DDs = []int{1, 4}
+	sums := runCells(o, spec.Cells())
 	rt := func(ddIdx, li, si int) float64 {
 		return sums[ddIdx*len(lambdas)*len(sixSchedulers)+li*len(sixSchedulers)+si].MeanRT.Seconds()
 	}
@@ -271,23 +260,18 @@ func Fig11(o Options) *report.Table {
 	return t
 }
 
-// table4Data runs Exp.2 at λ=1.2 for the RT half of Table 4 and Fig. 12.
+// table4Data runs Exp.2 at λ=1.2 for the RT half of Table 4 and Fig. 12,
+// from the Exp.2 sweep spec (cells expand DD-major, scheduler fastest).
 func table4Data(o Options, dds []int) map[int]map[string]float64 {
 	o = o.norm()
+	sums := runCells(o, exp2Spec(o, dds).Cells())
 	out := make(map[int]map[string]float64)
+	i := 0
 	for _, dd := range dds {
 		out[dd] = make(map[string]float64)
-		results := make([]float64, len(sixSchedulers))
-		parallelEach(len(sixSchedulers), func(i int) {
-			p := o.point()
-			p.Scheduler = sixSchedulers[i]
-			p.Load = Exp2
-			p.Lambda = 1.2
-			p.DD = dd
-			results[i] = Run(p).MeanRT.Seconds()
-		})
-		for i, s := range sixSchedulers {
-			out[dd][s] = results[i]
+		for _, s := range sixSchedulers {
+			out[dd][s] = sums[i].MeanRT.Seconds()
+			i++
 		}
 	}
 	return out
@@ -347,41 +331,27 @@ func Fig12(o Options) *report.Table {
 }
 
 // fig13Data solves the RT=70s throughput for GOW and LOW over the error
-// grid; used by Fig13 and Table5.
+// grid of the Exp.3 sweep spec (cells expand DD-major, then σ, scheduler
+// fastest); used by Fig13 and Table5. Each cell re-solves the operating
+// point, so the arrival rate the spec carries is only a placeholder.
 func fig13Data(o Options, sigmas []float64, dds []int) map[int]map[float64]map[string]float64 {
 	o = o.norm()
-	scheds := []string{"GOW", "LOW"}
-	type key struct {
-		dd int
-		si int
-		sc int
-	}
-	var keys []key
-	for _, dd := range dds {
-		for si := range sigmas {
-			for sc := range scheds {
-				keys = append(keys, key{dd, si, sc})
-			}
-		}
-	}
-	results := make([]float64, len(keys))
-	parallelEach(len(keys), func(i int) {
-		k := keys[i]
-		p := o.point()
-		p.Scheduler = scheds[k.sc]
-		p.DD = k.dd
-		p.Sigma = sigmas[k.si]
+	cells := exp3Spec(o, sigmas, dds).Cells()
+	results := make([]float64, len(cells))
+	parallelEach(len(cells), func(i int) {
+		p := artifactPoint(o, cells[i])
+		p.Lambda = 0
 		results[i] = rt70TPS(p, o.SolverTol)
 	})
 	out := make(map[int]map[float64]map[string]float64)
-	for i, k := range keys {
-		if out[k.dd] == nil {
-			out[k.dd] = make(map[float64]map[string]float64)
+	for i, c := range cells {
+		if out[c.DD] == nil {
+			out[c.DD] = make(map[float64]map[string]float64)
 		}
-		if out[k.dd][sigmas[k.si]] == nil {
-			out[k.dd][sigmas[k.si]] = make(map[string]float64)
+		if out[c.DD][c.Sigma] == nil {
+			out[c.DD][c.Sigma] = make(map[string]float64)
 		}
-		out[k.dd][sigmas[k.si]][scheds[k.sc]] = results[i]
+		out[c.DD][c.Sigma][c.Scheduler] = results[i]
 	}
 	return out
 }
@@ -477,16 +447,13 @@ func Phases(o Options) *report.Table {
 	return t
 }
 
-// parallelEach runs fn(i) for i in [0, n) concurrently.
+// parallelEach runs fn(i) for i in [0, n) on the shared sweep worker pool,
+// re-raising any captured panic once the other tasks finish.
 func parallelEach(n int, fn func(i int)) {
-	done := make(chan struct{})
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			fn(i)
-			done <- struct{}{}
-		}(i)
-	}
-	for i := 0; i < n; i++ {
-		<-done
+	if err := sweep.ForEach(context.Background(), 0, n, func(i int) error {
+		fn(i)
+		return nil
+	}); err != nil {
+		panic(err)
 	}
 }

@@ -18,7 +18,7 @@ func Average(sums []Summary) Summary {
 	n := len(sums)
 	var out Summary
 	out.Window = sums[0].Window
-	var meanRT, p50, p90, maxRT, downTime, degradedTime float64
+	var meanRT, p50, p90, p95, p99, maxRT, downTime, degradedTime float64
 	for _, s := range sums {
 		out.Arrivals += s.Arrivals
 		out.Completions += s.Completions
@@ -38,6 +38,8 @@ func Average(sums []Summary) Summary {
 		meanRT += float64(s.MeanRT)
 		p50 += float64(s.P50RT)
 		p90 += float64(s.P90RT)
+		p95 += float64(s.P95RT)
+		p99 += float64(s.P99RT)
 		maxRT += float64(s.MaxRT)
 		downTime += float64(s.DownTime)
 		degradedTime += float64(s.DegradedTime)
@@ -66,6 +68,8 @@ func Average(sums []Summary) Summary {
 	out.MeanRT = sim.Time(meanRT / fn)
 	out.P50RT = sim.Time(p50 / fn)
 	out.P90RT = sim.Time(p90 / fn)
+	out.P95RT = sim.Time(p95 / fn)
+	out.P99RT = sim.Time(p99 / fn)
 	out.MaxRT = sim.Time(maxRT / fn)
 	out.DownTime = sim.Time(downTime / fn)
 	out.DegradedTime = sim.Time(degradedTime / fn)

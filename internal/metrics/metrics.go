@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"batchsched/internal/sim"
+	"batchsched/internal/stats"
 )
 
 // Collector accumulates raw observations during one simulation run. The
@@ -153,8 +154,12 @@ type Summary struct {
 	Completions int
 	// MeanRT is the mean response time of completed transactions.
 	MeanRT sim.Time
-	// P50RT, P90RT and MaxRT are response-time percentiles.
+	// P50RT, P90RT and MaxRT are response-time percentiles (nearest-rank,
+	// the original reproduction metric).
 	P50RT, P90RT, MaxRT sim.Time
+	// P95RT and P99RT are interpolated tail percentiles (stats.Quantile);
+	// the sweep aggregates report P95RT alongside MeanRT.
+	P95RT, P99RT sim.Time
 	// TPS is Completions divided by the window in seconds.
 	TPS float64
 	// Blocks, Delays, Restarts and AdmissionRejects count scheduler events
@@ -247,6 +252,12 @@ func (c *Collector) Summarize(duration sim.Time) Summary {
 		s.P50RT = percentile(sorted, 0.50)
 		s.P90RT = percentile(sorted, 0.90)
 		s.MaxRT = sorted[len(sorted)-1]
+		secs := make([]float64, len(sorted))
+		for i, rt := range sorted {
+			secs[i] = rt.Seconds()
+		}
+		s.P95RT = sim.FromSeconds(stats.QuantileSorted(secs, 0.95))
+		s.P99RT = sim.FromSeconds(stats.QuantileSorted(secs, 0.99))
 	}
 	s.TPS = float64(c.completions) / window.Seconds()
 	s.CNUtilization = frac(c.cnBusy, duration)

@@ -23,13 +23,22 @@ func NewRNG(seed int64) *RNG {
 // derivation mixes the master seed with a hash of the name (splitmix64 over
 // FNV), so streams are stable across runs and decoupled from each other.
 func (g *RNG) Stream(name string) *RNG {
+	return NewRNG(DeriveSeed(g.seed, name))
+}
+
+// DeriveSeed derives an independent substream seed from a root seed and a
+// string key (splitmix64 over an FNV-1a hash of the key). It is the seeding
+// scheme behind Stream, exported so harnesses that replicate runs — the
+// sweep engine derives one substream per (cell key, replication) — get
+// seeds that are stable across runs, decoupled from each other, and
+// independent of execution order.
+func DeriveSeed(root int64, key string) int64 {
 	h := uint64(14695981039346656037) // FNV-1a offset basis
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
-	mixed := splitmix64(uint64(g.seed) ^ h)
-	return NewRNG(int64(mixed))
+	return int64(splitmix64(uint64(root) ^ h))
 }
 
 func splitmix64(x uint64) uint64 {

@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(1, "cell/rep=0")
+	b := DeriveSeed(1, "cell/rep=0")
+	if a != b {
+		t.Errorf("DeriveSeed not stable: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedDecoupled(t *testing.T) {
+	seen := map[int64]string{}
+	for _, root := range []int64{1, 2, 42} {
+		for _, key := range []string{"a", "b", "a/rep=0", "a/rep=1", ""} {
+			s := DeriveSeed(root, key)
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed collision: (%d,%q) and %s both derive %d", root, key, prev, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestStreamMatchesDeriveSeed(t *testing.T) {
+	g := NewRNG(7)
+	if got, want := g.Stream("arrivals").Seed(), DeriveSeed(7, "arrivals"); got != want {
+		t.Errorf("Stream seed %d, DeriveSeed %d", got, want)
+	}
+}

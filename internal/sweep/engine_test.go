@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"batchsched/internal/metrics"
+	"batchsched/internal/sim"
+)
+
+// fakeRun is a deterministic stand-in for a simulation: every field derives
+// from the cell parameters and the substream seed only.
+func fakeRun(c Cell, seed int64) (metrics.Summary, error) {
+	rng := sim.NewRNG(seed)
+	rt := 1 + 10*c.Lambda + rng.Float64()
+	return metrics.Summary{
+		Window:      100 * sim.Second,
+		Completions: 50 + rng.Intn(10),
+		MeanRT:      sim.FromSeconds(rt),
+		P95RT:       sim.FromSeconds(2 * rt),
+		TPS:         c.Lambda * (0.9 + 0.2*rng.Float64()),
+	}, nil
+}
+
+func TestRunCompletesGrid(t *testing.T) {
+	spec := testSpec()
+	res, err := Run(context.Background(), spec, fakeRun, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() || len(res.Records) != spec.NumUnits() {
+		t.Fatalf("records = %d, want %d", len(res.Records), spec.NumUnits())
+	}
+	// Canonical order: (cell index, rep) ascending.
+	for i := 1; i < len(res.Records); i++ {
+		a, b := res.Records[i-1], res.Records[i]
+		if a.Cell.Index > b.Cell.Index || (a.Cell.Index == b.Cell.Index && a.Rep >= b.Rep) {
+			t.Fatalf("records out of order at %d: (%d,%d) then (%d,%d)",
+				i, a.Cell.Index, a.Rep, b.Cell.Index, b.Rep)
+		}
+	}
+}
+
+func TestRunSeedsAreSubstreams(t *testing.T) {
+	spec := testSpec()
+	res, err := Run(context.Background(), spec, fakeRun, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[int64]bool{}
+	for _, rec := range res.Records {
+		if want := UnitSeed(spec.Norm().Seed, rec.Cell, rec.Rep); rec.Seed != want {
+			t.Errorf("cell %d rep %d seed %d, want %d", rec.Cell.Index, rec.Rep, rec.Seed, want)
+		}
+		if seeds[rec.Seed] {
+			t.Errorf("seed %d reused", rec.Seed)
+		}
+		seeds[rec.Seed] = true
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var last Progress
+	calls := 0
+	spec := testSpec()
+	_, err := Run(context.Background(), spec, fakeRun, Options{
+		OnProgress: func(p Progress) { last = p; calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != spec.NumUnits() {
+		t.Errorf("progress calls = %d, want %d", calls, spec.NumUnits())
+	}
+	if last.Total != spec.NumUnits() || last.ETASeconds != 0 {
+		t.Errorf("final progress %+v", last)
+	}
+	if last.VirtualPerWall <= 0 {
+		t.Errorf("virtual/wall ratio not tracked: %+v", last)
+	}
+}
+
+// finalize renders the three output artifacts of a sweep, as cmd/sweep
+// would write them.
+func finalize(t *testing.T, res *Result) (jsonl, table, summary []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	aggs := res.Aggregates()
+	sum, err := MarshalSummary(res.Spec, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), []byte(Table(res.Spec, aggs).String()), sum
+}
+
+// TestResumeByteIdentical is the checkpoint/resume contract: a sweep halted
+// mid-run (with a torn checkpoint tail, as a kill would leave) and resumed
+// produces the same JSONL, aggregate table and summary JSON, byte for byte,
+// as an uninterrupted run.
+func TestResumeByteIdentical(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+
+	full, err := Run(context.Background(), spec, fakeRun,
+		Options{Checkpoint: filepath.Join(dir, "full.jsonl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSONL, wantTable, wantSummary := finalize(t, full)
+
+	ckpt := filepath.Join(dir, "interrupted.jsonl")
+	halted, err := Run(context.Background(), spec, fakeRun,
+		Options{Checkpoint: ckpt, HaltAfter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted.Halted || halted.Executed != 5 {
+		t.Fatalf("halt: %+v", halted)
+	}
+	// Simulate the kill landing mid-write: tear the checkpoint's tail line.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Run(context.Background(), spec, fakeRun,
+		Options{Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 intact records survive the torn 5th; the resume reruns the rest.
+	if resumed.Resumed != 4 || resumed.Resumed+resumed.Executed != spec.NumUnits() {
+		t.Fatalf("resume accounting: %+v", resumed)
+	}
+	gotJSONL, gotTable, gotSummary := finalize(t, resumed)
+	if !bytes.Equal(gotJSONL, wantJSONL) {
+		t.Error("resumed JSONL differs from uninterrupted run")
+	}
+	if !bytes.Equal(gotTable, wantTable) {
+		t.Error("resumed aggregate table differs from uninterrupted run")
+	}
+	if !bytes.Equal(gotSummary, wantSummary) {
+		t.Error("resumed summary JSON differs from uninterrupted run")
+	}
+}
+
+func TestResumeRefusesForeignSpec(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	if _, err := Run(context.Background(), testSpec(), fakeRun,
+		Options{Checkpoint: ckpt, HaltAfter: 2}); err != nil {
+		t.Fatal(err)
+	}
+	other := testSpec()
+	other.Lambdas = []float64{0.3, 0.7}
+	_, err := Run(context.Background(), other, fakeRun, Options{Checkpoint: ckpt, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("foreign checkpoint accepted: %v", err)
+	}
+}
+
+func TestRunWithoutResumeStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	if _, err := Run(context.Background(), testSpec(), fakeRun,
+		Options{Checkpoint: ckpt, HaltAfter: 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), testSpec(), fakeRun, Options{Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 0 || res.Executed != testSpec().NumUnits() {
+		t.Fatalf("non-resume run reused the checkpoint: %+v", res)
+	}
+}
+
+func TestRunSurfacesRunFuncErrors(t *testing.T) {
+	spec := testSpec()
+	_, err := Run(context.Background(), spec, func(c Cell, seed int64) (metrics.Summary, error) {
+		if c.Index == 2 {
+			panic("sim exploded")
+		}
+		return fakeRun(c, seed)
+	}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "sim exploded") {
+		t.Fatalf("panic in RunFunc not surfaced: %v", err)
+	}
+}
+
+func TestWriteAndReadJSONLRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(context.Background(), testSpec(), fakeRun, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "results.jsonl")
+	if err := WriteJSONL(path, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(res.Records))
+	}
+	for i := range back {
+		if back[i].Seed != res.Records[i].Seed || back[i].Cell.Key() != res.Records[i].Cell.Key() {
+			t.Fatalf("record %d mutated in round trip", i)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := ForEach(context.Background(), 4, n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 0, func(int) error { t.Error("ran"); return nil }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	// workers <= 0 defaults to GOMAXPROCS and still runs everything.
+	var count atomic.Int32
+	if err := ForEach(context.Background(), -1, 5, func(int) error { count.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 5 {
+		t.Errorf("ran %d of 5", count.Load())
+	}
+}
+
+func TestForEachIsolatesPanics(t *testing.T) {
+	var count atomic.Int32
+	err := ForEach(context.Background(), 2, 10, func(i int) error {
+		if i == 3 {
+			panic("boom")
+		}
+		count.Add(1)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 3 panicked: boom") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+	if count.Load() != 9 {
+		t.Errorf("other tasks did not finish: %d of 9", count.Load())
+	}
+}
+
+func TestForEachCollectsErrors(t *testing.T) {
+	sentinel := errors.New("bad cell")
+	err := ForEach(context.Background(), 3, 6, func(i int) error {
+		if i%2 == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is lost the task error: %v", err)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int32
+	err := ForEach(ctx, 1, 1000, func(i int) error {
+		if count.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not reported: %v", err)
+	}
+	if c := count.Load(); c >= 1000 {
+		t.Errorf("cancellation did not stop dispatch (ran %d)", c)
+	}
+}

@@ -1,0 +1,199 @@
+// Package sweep is the parallel parameter-sweep engine: a declarative Spec
+// expands into a deterministic grid of simulation Cells, each cell runs R
+// seed replications on independent RNG substreams derived from a root seed
+// and the cell key, a bounded panic-isolated worker pool executes the
+// (cell, replication) units, results stream to an append-only JSONL
+// checkpoint so a killed sweep resumes by skipping completed units, and an
+// aggregator folds replications into stats.Sample rows (mean, stddev, 95%
+// CI, min/max, p95 response time) rendered as tables, CSV and summary JSON.
+//
+// The package knows nothing about how a cell is simulated: callers supply a
+// RunFunc (internal/experiments binds cells to the paper's machine model),
+// so sweep sits below experiments in the dependency order and its worker
+// pool also serves the artifact regenerators.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Spec declares a parameter sweep: the cross product of every listed
+// dimension, replicated Reps times per cell. Zero-valued dimensions default
+// to one-element grids so a spec only names what it varies; R=1 with a
+// single cell degenerates to one ordinary simulation run.
+type Spec struct {
+	// Name labels the sweep in outputs ("exp1", "mpl-scan", ...).
+	Name string `json:"name"`
+	// Load selects the workload generator ("exp1" or "exp2"; default exp1).
+	Load string `json:"load,omitempty"`
+	// Schedulers is the scheduler grid (required).
+	Schedulers []string `json:"schedulers"`
+	// Lambdas is the arrival-rate grid in TPS (required).
+	Lambdas []float64 `json:"lambdas"`
+	// NumFiles is the database-size grid (default [16]).
+	NumFiles []int `json:"numFiles,omitempty"`
+	// DDs is the degree-of-declustering grid (default [1]).
+	DDs []int `json:"dds,omitempty"`
+	// Sigmas is the estimation-error grid (default [0]).
+	Sigmas []float64 `json:"sigmas,omitempty"`
+	// MPLs is the C2PL+M admission-limit grid (default [0] = scheduler
+	// default; ignored by the other schedulers).
+	MPLs []int `json:"mpls,omitempty"`
+	// Ks is the LOW conflict-bound grid (default [0] = the paper's K=2).
+	Ks []int `json:"ks,omitempty"`
+	// MTBFSeconds is the per-node mean-time-between-failures grid in
+	// seconds (default [0] = failure-free; >0 enables the Exp.4 fault
+	// model).
+	MTBFSeconds []float64 `json:"mtbfSeconds,omitempty"`
+	// Reps is the number of seed replications per cell (default 1).
+	Reps int `json:"reps,omitempty"`
+	// Seed is the root seed every substream derives from (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// DurationSeconds overrides the simulated span per run (0 = the
+	// paper's 2000 s).
+	DurationSeconds float64 `json:"durationSeconds,omitempty"`
+}
+
+// Norm fills the defaulted dimensions in, returning a spec whose grid
+// fields are all non-empty.
+func (s Spec) Norm() Spec {
+	if s.Load == "" {
+		s.Load = "exp1"
+	}
+	if len(s.NumFiles) == 0 {
+		s.NumFiles = []int{16}
+	}
+	if len(s.DDs) == 0 {
+		s.DDs = []int{1}
+	}
+	if len(s.Sigmas) == 0 {
+		s.Sigmas = []float64{0}
+	}
+	if len(s.MPLs) == 0 {
+		s.MPLs = []int{0}
+	}
+	if len(s.Ks) == 0 {
+		s.Ks = []int{0}
+	}
+	if len(s.MTBFSeconds) == 0 {
+		s.MTBFSeconds = []float64{0}
+	}
+	if s.Reps < 1 {
+		s.Reps = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Validate rejects specs that cannot expand into a runnable grid.
+func (s Spec) Validate() error {
+	if len(s.Schedulers) == 0 {
+		return fmt.Errorf("sweep: spec %q lists no schedulers", s.Name)
+	}
+	if len(s.Lambdas) == 0 {
+		return fmt.Errorf("sweep: spec %q lists no lambdas", s.Name)
+	}
+	for _, l := range s.Lambdas {
+		if l <= 0 {
+			return fmt.Errorf("sweep: spec %q has non-positive lambda %v", s.Name, l)
+		}
+	}
+	if n := s.Norm(); n.Load != "exp1" && n.Load != "exp2" {
+		return fmt.Errorf("sweep: spec %q has unknown load %q (want exp1 or exp2)", s.Name, s.Load)
+	}
+	if s.DurationSeconds < 0 {
+		return fmt.Errorf("sweep: spec %q has negative duration", s.Name)
+	}
+	return nil
+}
+
+// Cell is one fully specified grid point. Index is its position in the
+// spec's expansion order; the JSONL outputs are sorted by it, so row order
+// is independent of completion order.
+type Cell struct {
+	Index           int     `json:"index"`
+	Scheduler       string  `json:"scheduler"`
+	Lambda          float64 `json:"lambda"`
+	NumFiles        int     `json:"numFiles"`
+	DD              int     `json:"dd"`
+	Sigma           float64 `json:"sigma"`
+	MPL             int     `json:"mpl"`
+	K               int     `json:"k"`
+	MTBFSeconds     float64 `json:"mtbfSeconds"`
+	Load            string  `json:"load"`
+	DurationSeconds float64 `json:"durationSeconds"`
+}
+
+// Key is the canonical identity of the cell's parameters (Index excluded):
+// it keys checkpoint records and, with the replication number, seeds the
+// cell's RNG substreams, so a cell's draws never depend on grid position or
+// execution order.
+func (c Cell) Key() string {
+	return fmt.Sprintf("load=%s sched=%s lambda=%g nf=%d dd=%d sigma=%g mpl=%d k=%d mtbf=%g dur=%g",
+		c.Load, c.Scheduler, c.Lambda, c.NumFiles, c.DD, c.Sigma, c.MPL, c.K, c.MTBFSeconds, c.DurationSeconds)
+}
+
+// Cells expands the spec into its grid, in the documented nesting order —
+// NumFiles, DD, MTBF, Sigma, Lambda, Scheduler, MPL, K, outermost first —
+// which the artifact regenerators rely on for positional row/column
+// indexing (rows vary the slow dimensions, scheduler columns vary fastest).
+func (s Spec) Cells() []Cell {
+	n := s.Norm()
+	var cells []Cell
+	for _, nf := range n.NumFiles {
+		for _, dd := range n.DDs {
+			for _, mtbf := range n.MTBFSeconds {
+				for _, sigma := range n.Sigmas {
+					for _, lambda := range n.Lambdas {
+						for _, sched := range n.Schedulers {
+							for _, mpl := range n.MPLs {
+								for _, k := range n.Ks {
+									cells = append(cells, Cell{
+										Index:           len(cells),
+										Scheduler:       sched,
+										Lambda:          lambda,
+										NumFiles:        nf,
+										DD:              dd,
+										Sigma:           sigma,
+										MPL:             mpl,
+										K:               k,
+										MTBFSeconds:     mtbf,
+										Load:            n.Load,
+										DurationSeconds: n.DurationSeconds,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// NumUnits is the total work-unit count: cells times replications.
+func (s Spec) NumUnits() int { return len(s.Cells()) * s.Norm().Reps }
+
+// LoadSpec reads and validates a JSON spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("sweep: %w", err)
+	}
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parsing %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

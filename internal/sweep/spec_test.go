@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:       "t",
+		Schedulers: []string{"LOW", "NODC"},
+		Lambdas:    []float64{0.2, 0.6},
+		DDs:        []int{1, 2},
+		Reps:       2,
+		Seed:       7,
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	n := (Spec{Schedulers: []string{"LOW"}, Lambdas: []float64{1}}).Norm()
+	if n.Load != "exp1" || n.NumFiles[0] != 16 || n.DDs[0] != 1 || n.Reps != 1 || n.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", n)
+	}
+}
+
+func TestSpecCellOrder(t *testing.T) {
+	cells := testSpec().Cells()
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 2 dd x 2 lambda x 2 sched", len(cells))
+	}
+	// Documented nesting: DD-major, then lambda, scheduler fastest.
+	want := []struct {
+		dd     int
+		lambda float64
+		sched  string
+	}{
+		{1, 0.2, "LOW"}, {1, 0.2, "NODC"}, {1, 0.6, "LOW"}, {1, 0.6, "NODC"},
+		{2, 0.2, "LOW"}, {2, 0.2, "NODC"}, {2, 0.6, "LOW"}, {2, 0.6, "NODC"},
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has Index %d", i, c.Index)
+		}
+		if c.DD != want[i].dd || c.Lambda != want[i].lambda || c.Scheduler != want[i].sched {
+			t.Errorf("cell %d = (%d, %v, %s), want %+v", i, c.DD, c.Lambda, c.Scheduler, want[i])
+		}
+	}
+}
+
+func TestCellKeyIdentity(t *testing.T) {
+	cells := testSpec().Cells()
+	seen := map[string]bool{}
+	for _, c := range cells {
+		k := c.Key()
+		if seen[k] {
+			t.Errorf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+	// The key must not depend on grid position.
+	a, b := cells[3], cells[3]
+	b.Index = 99
+	if a.Key() != b.Key() {
+		t.Error("Key depends on Index")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, bad := range []Spec{
+		{Lambdas: []float64{1}},                              // no schedulers
+		{Schedulers: []string{"LOW"}},                        // no lambdas
+		{Schedulers: []string{"LOW"}, Lambdas: []float64{0}}, // λ <= 0
+		{Schedulers: []string{"LOW"}, Lambdas: []float64{1}, Load: "exp9"},
+		{Schedulers: []string{"LOW"}, Lambdas: []float64{1}, DurationSeconds: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Errorf("Validate rejected a good spec: %v", err)
+	}
+}
+
+func TestNumUnits(t *testing.T) {
+	if got := testSpec().NumUnits(); got != 16 {
+		t.Errorf("NumUnits = %d, want 8 cells x 2 reps", got)
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	good := `{"name":"s","schedulers":["LOW"],"lambdas":[0.5],"reps":3,"seed":2}`
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSpec(path)
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	if s.Name != "s" || s.Reps != 3 || s.Seed != 2 {
+		t.Errorf("loaded %+v", s)
+	}
+	// Unknown fields are typos, not extensions: refuse them.
+	if err := os.WriteFile(path, []byte(`{"schedulers":["LOW"],"lambdas":[0.5],"lambda":0.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); err == nil {
+		t.Error("LoadSpec accepted an unknown field")
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadSpec accepted a missing file")
+	}
+}
