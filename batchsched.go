@@ -210,6 +210,15 @@ func NewExp1Workload(numFiles int) Generator { return workload.NewExp1(numFiles)
 // 8 read-only and 8 hot files).
 func NewExp2Workload() Generator { return workload.NewExp2() }
 
+// NewBatchScanWorkload returns the whole-file batch-scan generator: each
+// transaction X-locks and scans one whole file of `objects` objects, then
+// rewrites a second distinct file of the same size — the heavy batch
+// workload the paper's introduction motivates, and the one the tracked Run
+// benchmarks measure at full declustering.
+func NewBatchScanWorkload(numFiles int, objects float64) Generator {
+	return workload.NewBatchScan(numFiles, objects)
+}
+
 // WithCostError wraps a workload with the Experiment-3 estimation-error
 // model: declared costs become C0*(1+x), x ~ N(0, sigma²), clamped at 0.
 func WithCostError(gen Generator, sigma float64) Generator {

@@ -37,6 +37,10 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// EventsPerOp is the simulator's own work metric — calendar events
+	// dispatched per benchmark op (b.ReportMetric(..., "events/op")) —
+	// recorded so event-coalescing wins are tracked next to wall time.
+	EventsPerOp float64 `json:"events_per_op,omitempty"`
 }
 
 type snapshot struct {
@@ -47,6 +51,7 @@ type snapshot struct {
 type speedup struct {
 	Time   float64 `json:"time"`
 	Allocs float64 `json:"allocs,omitempty"`
+	Events float64 `json:"events,omitempty"`
 }
 
 type baseline struct {
@@ -91,6 +96,8 @@ func parseBench(r *bufio.Scanner) (map[string]benchResult, error) {
 				br.BytesPerOp = v
 			case "allocs/op":
 				br.AllocsPerOp = v
+			case "events/op":
+				br.EventsPerOp = v
 			}
 		}
 		if br.NsPerOp == 0 {
@@ -161,6 +168,9 @@ func main() {
 			if p.AllocsPerOp > 0 {
 				s.Allocs = round2(pre.Benches[n].AllocsPerOp / p.AllocsPerOp)
 			}
+			if p.EventsPerOp > 0 {
+				s.Events = round2(pre.Benches[n].EventsPerOp / p.EventsPerOp)
+			}
 			bl.Speedup[n] = s
 		}
 	}
@@ -203,9 +213,11 @@ func loadBaseline(path string) (snapshot, error) {
 	return snapshot{}, fmt.Errorf("%s: no \"post\" snapshot and %d snapshots to choose from", path, len(bl.Snapshots))
 }
 
-// runCompare diffs the "post" snapshots of two baseline files and returns the
-// process exit code: 0 when every shared benchmark's ns/op regression stays
-// within maxRegress percent, 1 otherwise.
+// runCompare diffs the "post" snapshots of two baseline files and returns
+// the process exit code: 0 when every shared benchmark's ns/op — and, where
+// both snapshots report it, events/op — regression stays within maxRegress
+// percent, 1 otherwise. Events/op is deterministic per workload, so any
+// growth there is a real coalescing loss rather than machine noise.
 func runCompare(oldPath, newPath string, maxRegress float64) int {
 	oldSnap, err := loadBaseline(oldPath)
 	if err != nil {
@@ -230,7 +242,7 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-12s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Printf("%-12s %14s %14s %9s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta")
 	failed := false
 	for _, n := range names {
 		o, nw := oldSnap.Benches[n], newSnap.Benches[n]
@@ -240,10 +252,19 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 			mark = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%%%s\n", n, o.NsPerOp, nw.NsPerOp, delta, mark)
+		evCol := "-"
+		if o.EventsPerOp > 0 && nw.EventsPerOp > 0 {
+			evDelta := (nw.EventsPerOp/o.EventsPerOp - 1) * 100
+			evCol = fmt.Sprintf("%+.1f%%", evDelta)
+			if evDelta > maxRegress {
+				mark = "  REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, mark)
 	}
 	if failed {
-		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op\n", maxRegress)
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op or events/op\n", maxRegress)
 		return 1
 	}
 	fmt.Printf("OK: all %d shared benchmarks within %.1f%% of baseline\n", len(names), maxRegress)

@@ -59,6 +59,9 @@ type Point struct {
 	RestartDelay sim.Time
 	// Faults configures the fault injector (zero value = failure-free).
 	Faults fault.Config
+	// QuantumStepped selects the quantum-per-event DPN oracle instead of
+	// the fast-forward engine (identical results, more calendar events).
+	QuantumStepped bool
 }
 
 func (p Point) generator() machine.Generator {
@@ -114,6 +117,7 @@ func runObserved(p Point, seed int64, ob *obs.Observer) metrics.Summary {
 	}
 	cfg.RestartDelay = p.RestartDelay
 	cfg.Faults = p.Faults
+	cfg.QuantumStepped = p.QuantumStepped
 	m, err := machine.New(cfg, sched.MustNew(p.Scheduler, params), p.generator(), sim.NewRNG(seed))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

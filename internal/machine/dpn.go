@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"batchsched/internal/metrics"
 	"batchsched/internal/obs"
 	"batchsched/internal/sim"
@@ -34,6 +36,15 @@ type cohort struct {
 // paper's execution model ("a DPN executes cohorts in a round-robin manner;
 // when DD = k, the unit of the round-robin service is to scan the data of
 // size 1/k object").
+//
+// Two service engines implement that discipline with identical semantics:
+//
+//   - the fast-forward engine (dpn_ff.go, the default) schedules one
+//     calendar event per cohort completion and reconstructs the ring state
+//     analytically whenever anything looks at or perturbs the node;
+//   - the quantum-stepped engine (dpn_stepped.go, Config.QuantumStepped)
+//     schedules one event per service quantum — the original loop, kept as
+//     the differential oracle.
 type dpn struct {
 	id   int
 	eng  *sim.Engine
@@ -42,23 +53,61 @@ type dpn struct {
 	cur  int
 	busy bool
 
+	// stepped selects the quantum-per-event oracle engine.
+	stepped bool
+
 	// down marks a crashed node; the machine refuses deliveries to it.
 	down bool
 	// slow is the straggler service-time multiplier (0 or 1 = nominal).
 	slow float64
-	// pending is the in-progress quantum's completion event, kept so a
-	// crash can cancel it.
+	// pending is the in-progress quantum's completion event (stepped
+	// engine), kept so a crash can cancel it.
 	pending *sim.Event
 
 	// complete receives cohorts that finish with a nil done callback (set by
-	// the machine). curSlice/curElapsed describe the quantum in progress;
-	// onQuantum is the pre-bound completion handler — the node is a single
-	// server, so exactly one quantum is outstanding and per-quantum state
-	// can live on the node instead of in a per-event closure.
+	// the machine). curSlice/curElapsed describe the stepped quantum in
+	// progress; onQuantum is its pre-bound completion handler — the node is
+	// a single server, so exactly one quantum is outstanding and per-quantum
+	// state can live on the node instead of in a per-event closure.
 	complete   func(*cohort)
 	curSlice   sim.Time
 	curElapsed sim.Time
 	onQuantum  sim.Handler
+
+	// Fast-forward state: the one service conceptually under way. Every
+	// earlier service boundary has been applied to the ring; svcStart,
+	// svcEnd, svcSlice and svcElapsed describe the in-flight service of
+	// ring[cur] exactly as the stepped engine would have booked it.
+	svcStart   sim.Time
+	svcEnd     sim.Time
+	svcSlice   sim.Time
+	svcElapsed sim.Time
+	// ffEvent is the single scheduled ring-change (next completion) event;
+	// ffAt/ffPrio/ffTie cache its slot so an unchanged forecast keeps the
+	// booking (and with it the FIFO tie position) instead of
+	// cancel-and-rebooking.
+	ffAt    sim.Time
+	ffPrio  sim.Time
+	ffTie   sim.TieKey
+	ffEvent *sim.Event
+	onRing  sim.Handler
+	// anchor/anchorPre/anchorStamp identify the node's most recent irregular
+	// service boundary — one whose elapsed time was not a full quantum (a
+	// short final or dying slice), or the delivery that started the current
+	// busy period. They parameterize the completion event's TieKey: the
+	// stepped engine's booking chain is regular (full-quantum spaced) back to
+	// exactly this boundary, so equal-(at, prio) completions on different
+	// nodes resolve their calendar order the way the stepped chain bookings
+	// would have.
+	anchor      sim.Time
+	anchorPre   sim.Time
+	anchorStamp uint64
+	// Forecast scratch (reused across calls to keep the hot path
+	// allocation-free): post-round-one remainders, quanta and full-quantum
+	// elapsed times of the surviving cohorts, in service order.
+	fcRem []sim.Time
+	fcQ   []sim.Time
+	fcE   []sim.Time
 
 	// ob records cohort residency spans when observability is enabled.
 	ob *obs.Observer
@@ -66,30 +115,8 @@ type dpn struct {
 
 func newDPN(id int, eng *sim.Engine, met *metrics.Collector) *dpn {
 	d := &dpn{id: id, eng: eng, met: met}
-	d.onQuantum = func(now sim.Time) {
-		d.pending = nil
-		d.met.DPNBusy(d.id, d.curElapsed)
-		c := d.ring[d.cur]
-		if c.dead {
-			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
-			d.ob.End(c.span, now)
-			d.serve()
-			return
-		}
-		c.remaining -= d.curSlice
-		if c.remaining <= 0 {
-			d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
-			d.ob.End(c.span, now)
-			if c.done != nil {
-				c.done()
-			} else if d.complete != nil {
-				d.complete(c)
-			}
-		} else {
-			d.cur++
-		}
-		d.serve()
-	}
+	d.onQuantum = d.quantumDone
+	d.onRing = d.ringChange
 	return d
 }
 
@@ -102,29 +129,81 @@ func (d *dpn) add(c *cohort) {
 	if d.down {
 		panic("machine: cohort delivered to a down node")
 	}
+	d.sync()
 	if d.ob.Enabled() && c.run != nil {
 		t := c.run.e.txn
 		c.span = d.ob.Begin("cohort", "io", t.ID, d.id, t.StepIndex,
 			c.run.e.stepSpan, d.eng.Now())
 	}
 	d.ring = append(d.ring, c)
+	if d.stepped {
+		if !d.busy {
+			d.busy = true
+			d.serve()
+		}
+		return
+	}
 	if !d.busy {
-		d.busy = true
-		d.serve()
+		// The stepped engine's first quantum of a busy period is booked by
+		// this very delivery event: the booking chain starts here.
+		d.anchor = d.eng.Now()
+		d.anchorPre = d.eng.CurPrio()
+		d.anchorStamp = d.eng.Executed()
+		d.startService(d.eng.Now())
+	}
+	d.reschedule()
+}
+
+// queueLen reports the number of resident cohorts at the current virtual
+// time (bringing the fast-forward ring up to date first, so load probes and
+// gauges see exactly what the stepped engine would have).
+func (d *dpn) queueLen() int {
+	d.sync()
+	return len(d.ring)
+}
+
+// sync replays onto the ring every service boundary the stepped engine
+// would have applied before the event currently being dispatched. All
+// boundaries strictly before now qualify; a boundary landing exactly on the
+// current instant qualifies iff the stepped quantum event standing for it —
+// timestamp now, priority svcStart (its booking time) — sorts before the
+// running event's (now, CurPrio) calendar key. Without the priority test a
+// cohort delivered exactly on a quantum boundary would join the rotation
+// ahead of the incumbent the stepped engine had already rotated past.
+func (d *dpn) sync() {
+	if d.stepped {
+		return
+	}
+	now := d.eng.Now()
+	d.advanceTo(now)
+	prio := d.eng.CurPrio()
+	for d.busy && d.svcEnd == now && d.svcStart < prio {
+		if c := d.ring[d.cur]; !c.dead && c.remaining <= d.svcSlice {
+			// A completion here would mean the (now, svcStart) completion
+			// event is on the calendar and the engine dispatched the later
+			// (now, prio) event first — impossible.
+			panic(fmt.Sprintf("machine: dpn %d sync crossed a completion at %v", d.id, now))
+		}
+		d.applyBoundary()
 	}
 }
 
-// queueLen reports the number of resident cohorts.
-func (d *dpn) queueLen() int { return len(d.ring) }
-
-// crash takes the node down: the in-progress quantum is cancelled and every
+// crash takes the node down: the in-progress service is cancelled and every
 // resident cohort is lost. The killed cohorts are returned so the machine
-// can abort the transactions that owned them.
+// can abort the transactions that owned them. sync decides whether a
+// boundary falling exactly on the crash instant is applied the same way the
+// stepped calendar would have ordered the colliding quantum event against
+// the crash event; the quantum the crash interrupts is never charged.
 func (d *dpn) crash() []*cohort {
+	d.sync()
 	d.down = true
 	if d.pending != nil {
 		d.pending.Cancel()
 		d.pending = nil
+	}
+	if d.ffEvent != nil {
+		d.ffEvent.Cancel()
+		d.ffEvent = nil
 	}
 	killed := d.ring
 	for _, c := range killed {
@@ -140,42 +219,64 @@ func (d *dpn) crash() []*cohort {
 func (d *dpn) restore() { d.down = false }
 
 // setSlow applies (factor > 1) or clears (factor <= 1) the straggler
-// multiplier. It affects quanta scheduled from now on; the one in progress
-// finishes at its booked speed.
-func (d *dpn) setSlow(factor float64) { d.slow = factor }
+// multiplier. It affects services scheduled from now on; the one in
+// progress finishes at its booked speed.
+func (d *dpn) setSlow(factor float64) {
+	d.sync()
+	d.slow = factor
+	if !d.stepped && d.busy {
+		d.reschedule()
+	}
+}
 
-// serve runs one quantum (or the cohort's remainder) for the cohort at the
-// rotation cursor, then advances. Dead cohorts at the cursor are dropped;
-// a quantum already under way for a cohort that dies mid-slice completes
-// (the work is wasted) and the cohort is then dropped.
-func (d *dpn) serve() {
+// deadMarked tells the node a resident cohort's dead flag was just set (the
+// owning transaction aborted on another node or timed out). The stepped
+// engine discovers dead cohorts at quantum boundaries on its own; the
+// fast-forward engine must re-derive its completion forecast, since the
+// dead cohort will now drop out of the rotation without consuming service.
+//
+// Contract: callers must sync() the node BEFORE setting any dead flag (as
+// killCohorts does). The dead flag is read by the lazy boundary replay, so a
+// flag raised before the replay catches up would drop the cohort from
+// boundaries in the past — quanta the stepped engine served while the
+// cohort was still live.
+func (d *dpn) deadMarked() {
+	if d.stepped || !d.busy {
+		return
+	}
+	d.sync()
+	// reschedule also handles the ring having drained during the replay
+	// (the mark left only dead cohorts): it cancels the stale booking.
+	d.reschedule()
+}
+
+// dropDeadAt removes the run of dead cohorts at the rotation cursor,
+// closing their residency spans at virtual time t. Consecutive dead
+// cohorts are spliced out in one copy (wrapping costs a second), instead
+// of one O(ring) splice per corpse.
+func (d *dpn) dropDeadAt(t sim.Time) {
 	for len(d.ring) > 0 {
 		if d.cur >= len(d.ring) {
 			d.cur = 0
 		}
-		if !d.ring[d.cur].dead {
-			break
+		j := d.cur
+		for j < len(d.ring) && d.ring[j].dead {
+			d.ob.End(d.ring[j].span, t)
+			j++
 		}
-		d.ob.End(d.ring[d.cur].span, d.eng.Now())
-		d.ring = append(d.ring[:d.cur], d.ring[d.cur+1:]...)
+		if j == d.cur {
+			return
+		}
+		d.ring = append(d.ring[:d.cur], d.ring[j:]...)
 	}
-	if len(d.ring) == 0 {
-		d.busy = false
-		return
-	}
-	c := d.ring[d.cur]
-	slice := c.quantum
-	if c.remaining < slice {
-		slice = c.remaining
-	}
-	elapsed := slice
+}
+
+// slowRound is the elapsed wall time of serving slice under the current
+// straggler multiplier, rounded exactly as the stepped engine rounds each
+// booked quantum.
+func (d *dpn) slowRound(slice sim.Time) sim.Time {
 	if d.slow > 1 {
-		elapsed = sim.Time(float64(slice) * d.slow)
+		return sim.Time(float64(slice) * d.slow)
 	}
-	// The cohort under service stays at d.cur until the quantum completes:
-	// arrivals append behind it and nothing else advances the cursor, so the
-	// handler re-reads it from the ring.
-	d.curSlice = slice
-	d.curElapsed = elapsed
-	d.pending = d.eng.Schedule(elapsed, d.onQuantum)
+	return slice
 }

@@ -117,9 +117,7 @@ func (m *Machine) armTimeout(run *stepRun) {
 // step or, once the retry budget is spent, aborts the transaction.
 func (m *Machine) stepTimeout(run *stepRun) {
 	run.dead = true
-	for _, c := range run.cohorts {
-		c.dead = true
-	}
+	m.killCohorts(run)
 	e := run.e
 	if run.attempt >= m.inj.Retries() {
 		m.met.MsgAbort()
@@ -140,11 +138,34 @@ func (m *Machine) abortRun(run *stepRun, reason string) {
 		return
 	}
 	run.dead = true
+	m.killCohorts(run)
+	m.met.CrashAbort()
+	m.abortTxn(run.e, reason)
+}
+
+// killCohorts marks every cohort of a retired dispatch attempt dead, then
+// tells each cohort's node — fast-forward nodes must re-derive their
+// completion forecast once a resident cohort stops consuming service. Each
+// node is synced to the kill instant BEFORE any flag is set: service
+// boundaries up to this moment were served with the cohorts still live, and
+// replaying them later against raised dead flags would retroactively drop
+// quanta the stepped engine charged. All cohorts are then marked before any
+// node is notified so a node holding several of them re-forecasts against
+// the final state.
+func (m *Machine) killCohorts(run *stepRun) {
+	for _, c := range run.cohorts {
+		if c.node != nil {
+			c.node.sync()
+		}
+	}
 	for _, c := range run.cohorts {
 		c.dead = true
 	}
-	m.met.CrashAbort()
-	m.abortTxn(run.e, reason)
+	for _, c := range run.cohorts {
+		if c.node != nil {
+			c.node.deadMarked()
+		}
+	}
 }
 
 // abortTxn rolls a running transaction back after a fault: the scheduler

@@ -134,6 +134,7 @@ func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, 
 	m.dpns = make([]*dpn, cfg.NumNodes)
 	for i := range m.dpns {
 		m.dpns[i] = newDPN(i, eng, met)
+		m.dpns[i].stepped = cfg.QuantumStepped
 		m.dpns[i].complete = m.cohortFinished
 	}
 	m.onArrival = func(sim.Time) {
@@ -220,7 +221,10 @@ func (m *Machine) SetObs(o *obs.Observer) {
 	for i := range m.dpns {
 		i := i
 		o.Gauge(fmt.Sprintf("dpn%d_queue", i), func() float64 { return float64(m.dpns[i].queueLen()) })
-		o.Gauge(fmt.Sprintf("dpn%d_busy_ms", i), func() float64 { return m.met.DPNBusyTime(i).Milliseconds() })
+		o.Gauge(fmt.Sprintf("dpn%d_busy_ms", i), func() float64 {
+			m.dpns[i].sync() // replay fast-forwarded boundaries into the collector
+			return m.met.DPNBusyTime(i).Milliseconds()
+		})
 	}
 	o.Audit().SetClock(m.eng.Now)
 	if a, ok := m.sch.(sched.Audited); ok {
@@ -254,6 +258,12 @@ func (m *Machine) Run() metrics.Summary {
 	}
 	m.ob.StartSampling(m.eng)
 	m.eng.RunUntil(m.cfg.Duration)
+	// Fast-forward nodes may still hold an epoch tail whose quantum events
+	// the stepped engine would have fired at (or before) the horizon; replay
+	// it so busy accounting matches before anything is summarized.
+	for _, d := range m.dpns {
+		d.flush(m.cfg.Duration)
+	}
 	m.ob.Finish(m.eng.Now())
 	return m.met.Summarize(m.cfg.Duration)
 }

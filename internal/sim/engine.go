@@ -21,14 +21,104 @@ type PayloadHandler func(now Time, arg any)
 // dispatches (to cancel an in-flight timer) must drop the reference when its
 // handler runs, as the handler's first action.
 type Event struct {
-	at       Time
-	seq      uint64 // FIFO tie-break among equal timestamps
+	at Time
+	// prio breaks ties among events with equal timestamps before seq does.
+	// book sets it to the booking time, so for ordinary events (booking
+	// times are nondecreasing in seq) it changes nothing; ScheduleAtPrio
+	// sets it explicitly so a coalescing model can plant a future event in
+	// exactly the tie position of the fine-grained event it stands for.
+	prio     Time
+	seq      uint64 // FIFO tie-break among equal (at, prio)
 	fn       Handler
 	pfn      PayloadHandler // set instead of fn by SchedulePayload
 	arg      any
 	canceled bool
-	index    int // heap index, -1 when not on the heap
+	index    int     // heap index, -1 when not on the heap
+	eng      *Engine // owner, for the canceled-event accounting in Cancel
 	label    string
+	// tie (when hasTie is set) refines the ordering among events with equal
+	// (at, prio) beyond booking order; see TieKey and ScheduleAtTie.
+	tie    TieKey
+	hasTie bool
+}
+
+// TieKey describes the booking genealogy of an event that stands in for the
+// last link of an elided event chain (one calendar event per service quantum,
+// say). Two stand-ins with equal (at, prio) fire in the order the elided
+// bookings would have been made, which is decided by walking both chains
+// backward to their first difference. The chains are regular — each link
+// booked by a predecessor firing one fixed spacing earlier — between
+// irregularities, so the walk needs only:
+//
+//   - Q, the regular spacing (the full service quantum, under any current
+//     service-rate multiplier);
+//   - Anchor, the fire time of the chain's most recent irregular link
+//     (a short service slice, or the booking that started the chain);
+//   - Pre, that link's own tie-breaking priority (the fire time of ITS
+//     predecessor, or the booking time of a chain-starting event);
+//   - Stamp, a dispatch-order stamp of the irregular link, breaking ties
+//     between chains whose anchors coincide exactly.
+//
+// Chains regular at the tie point diverge first where one hits its anchor;
+// the comparison there is Pre versus the other chain's reconstructed regular
+// value. Ordinary events never carry a TieKey and order purely by booking
+// seq, as before.
+type TieKey struct {
+	Q      Time
+	Anchor Time
+	Pre    Time
+	Stamp  uint64
+}
+
+// tieLess orders two tie keys for events sharing priority p. The second
+// result is false when the keys cannot distinguish the events (fall back to
+// booking order).
+func tieLess(p Time, x, y *TieKey) (less, ok bool) {
+	if *x == *y {
+		return false, false
+	}
+	// Depth 1: the predecessor links, firing at p.
+	wx := p - x.Q
+	if x.Anchor == p {
+		wx = x.Pre
+	}
+	wy := p - y.Q
+	if y.Anchor == p {
+		wy = y.Pre
+	}
+	if wx != wy {
+		return wx < wy, true
+	}
+	if x.Anchor == p || y.Anchor == p {
+		// At least one chain is already at its anchor; nothing deeper is
+		// recorded, so the anchors' dispatch stamps decide.
+		if x.Stamp != y.Stamp {
+			return x.Stamp < y.Stamp, true
+		}
+		return false, false
+	}
+	// Both chains regular at depth 1 with the same spacing. They stay equal
+	// until the shallower anchor, where the anchored chain's Pre meets the
+	// other's reconstructed regular value.
+	m := x.Anchor
+	if y.Anchor > m {
+		m = y.Anchor
+	}
+	vx := m - x.Q
+	if x.Anchor == m {
+		vx = x.Pre
+	}
+	vy := m - y.Q
+	if y.Anchor == m {
+		vy = y.Pre
+	}
+	if vx != vy {
+		return vx < vy, true
+	}
+	if x.Stamp != y.Stamp {
+		return x.Stamp < y.Stamp, true
+	}
+	return false, false
 }
 
 // Time returns the virtual time the event is scheduled for.
@@ -38,8 +128,19 @@ func (e *Event) Time() Time { return e.at }
 func (e *Event) Canceled() bool { return e.canceled }
 
 // Cancel prevents the event's handler from running. Canceling an event that
-// already fired (or was already canceled) is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// already fired (or was already canceled) is a no-op. The tombstone stays on
+// the calendar until it surfaces or the engine compacts; the engine keeps a
+// count of live tombstones so heavy cancelers cannot bloat the heap.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 && e.eng != nil {
+		e.eng.dead++
+		e.eng.maybeCompact()
+	}
+}
 
 // Engine is a single-threaded discrete-event simulator. Events scheduled for
 // the same timestamp fire in scheduling order, which makes every run fully
@@ -51,6 +152,15 @@ type Engine struct {
 	seq      uint64
 	calendar eventHeap
 	executed uint64
+	// curPrio is the tie-breaking priority of the event being dispatched
+	// (its booking time for ordinary events). Models that coalesce
+	// fine-grained events read it to decide whether a stood-for event would
+	// have fired before the one currently running.
+	curPrio Time
+	// dead counts canceled events still sitting on the calendar; when they
+	// outnumber the live ones the calendar is compacted in one pass instead
+	// of sifting each tombstone to the top.
+	dead int
 	// pool is a free list of fired/discarded events; a 2M-ms run dispatches
 	// hundreds of thousands of events, and recycling them keeps Schedule
 	// allocation-free at steady state.
@@ -68,6 +178,14 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events dispatched so far (canceled events
 // excluded).
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// CurPrio returns the tie-breaking priority of the event currently being
+// dispatched — its booking time, for events booked with Schedule and
+// friends. An event's handler can compare (Now, CurPrio) against the
+// (timestamp, priority) key of a fine-grained event it elided to decide
+// whether that event would already have fired. Meaningful only inside a
+// handler; between dispatches it holds the last dispatched event's priority.
+func (e *Engine) CurPrio() Time { return e.curPrio }
 
 // Pending returns the number of events currently on the calendar, including
 // canceled events that have not yet been discarded.
@@ -87,7 +205,37 @@ func (e *Engine) ScheduleAt(at Time, fn Handler) *Event {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	return e.book(at, "", fn)
+	return e.book(at, e.now, "", fn)
+}
+
+// ScheduleAtPrio books fn at absolute virtual time at (>= Now) with an
+// explicit tie-breaking priority: equal-timestamp events fire in (prio, seq)
+// order, and every ordinary booking gets prio = its booking time. A model
+// that coalesces a chain of fine-grained events into one future event passes
+// the virtual time the final fine-grained event would have been booked at,
+// placing the stand-in exactly where the chain's last link would have tied.
+// prio may lie in the past (the stand-in for work already under way).
+func (e *Engine) ScheduleAtPrio(at, prio Time, fn Handler) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if prio > at {
+		panic(fmt.Sprintf("sim: priority %v after event time %v", prio, at))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	return e.book(at, prio, "", fn)
+}
+
+// ScheduleAtTie is ScheduleAtPrio with a booking-genealogy key: among events
+// with equal (at, prio) that both carry one, the tie keys order the events as
+// the elided fine-grained bookings would have been ordered (see TieKey).
+func (e *Engine) ScheduleAtTie(at, prio Time, tie TieKey, fn Handler) *Event {
+	ev := e.ScheduleAtPrio(at, prio, fn)
+	ev.tie = tie
+	ev.hasTie = true
+	return ev
 }
 
 // ScheduleLabeled is Schedule with a diagnostic label (shown in panics and
@@ -99,7 +247,7 @@ func (e *Engine) ScheduleLabeled(delay Time, label string, fn Handler) *Event {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	return e.book(e.now+delay, label, fn)
+	return e.book(e.now+delay, e.now, label, fn)
 }
 
 // SchedulePayload books fn(arg) to run after delay. It is Schedule for
@@ -112,25 +260,54 @@ func (e *Engine) SchedulePayload(delay Time, fn PayloadHandler, arg any) *Event 
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	ev := e.book(e.now+delay, "", nil)
+	ev := e.book(e.now+delay, e.now, "", nil)
 	ev.pfn = fn
 	ev.arg = arg
 	return ev
 }
 
-func (e *Engine) book(at Time, label string, fn Handler) *Event {
+func (e *Engine) book(at, prio Time, label string, fn Handler) *Event {
 	e.seq++
 	var ev *Event
 	if n := len(e.pool); n > 0 {
 		ev = e.pool[n-1]
 		e.pool[n-1] = nil
 		e.pool = e.pool[:n-1]
-		*ev = Event{at: at, seq: e.seq, fn: fn, label: label}
+		*ev = Event{at: at, prio: prio, seq: e.seq, fn: fn, eng: e, label: label}
 	} else {
-		ev = &Event{at: at, seq: e.seq, fn: fn, label: label}
+		ev = &Event{at: at, prio: prio, seq: e.seq, fn: fn, eng: e, label: label}
 	}
 	e.calendar.push(ev)
 	return ev
+}
+
+// maybeCompact rebuilds the calendar without its tombstones once canceled
+// events outnumber live ones (and there are enough of them to be worth a
+// pass). Compaction preserves dispatch order exactly: the heap order is a
+// total order on (at, prio, seq), so any valid heap over the same live set
+// pops identically.
+func (e *Engine) maybeCompact() {
+	if e.dead < 64 || e.dead*2 <= e.calendar.Len() {
+		return
+	}
+	items := e.calendar.items
+	n := 0
+	for _, ev := range items {
+		if ev.canceled {
+			ev.index = -1
+			e.recycle(ev)
+			continue
+		}
+		items[n] = ev
+		ev.index = n
+		n++
+	}
+	for i := n; i < len(items); i++ {
+		items[i] = nil
+	}
+	e.calendar.items = items[:n]
+	e.calendar.reheap()
+	e.dead = 0
 }
 
 // recycle returns a fired or discarded event to the free list, dropping its
@@ -150,6 +327,7 @@ func (e *Engine) Step(horizon Time) bool {
 		next := e.calendar.peek()
 		if next.canceled {
 			e.calendar.pop()
+			e.dead--
 			e.recycle(next)
 			continue
 		}
@@ -158,6 +336,7 @@ func (e *Engine) Step(horizon Time) bool {
 		}
 		e.calendar.pop()
 		e.now = next.at
+		e.curPrio = next.prio
 		e.executed++
 		if next.pfn != nil {
 			pfn, arg := next.pfn, next.arg

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -170,6 +171,163 @@ func TestEngineMonotonicDispatchProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEngineSchedulePrioOrdersTies(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	// At t=30ms three events tie. The prio events were booked first (so have
+	// the smaller seq) but must fire in prio order, interleaving with the
+	// plain booking which carries prio = its booking time (0).
+	e.ScheduleAtPrio(30*Millisecond, 20*Millisecond, func(Time) { order = append(order, "p20") })
+	e.ScheduleAtPrio(30*Millisecond, 10*Millisecond, func(Time) { order = append(order, "p10") })
+	e.Schedule(30*Millisecond, func(Time) { order = append(order, "plain0") })
+	e.Run(Second)
+	want := []string{"plain0", "p10", "p20"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineSchedulePrioPastPriority(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(50*Millisecond, func(now Time) {
+		// A stand-in for work already under way: prio before now is legal...
+		e.ScheduleAtPrio(80*Millisecond, 20*Millisecond, func(Time) {})
+	})
+	e.Run(Second)
+	// ...but the event time itself must not rewind, and prio must not lie
+	// after the event.
+	mustPanic(t, func() { e.ScheduleAtPrio(e.Now()-1, 0, func(Time) {}) })
+	mustPanic(t, func() { e.ScheduleAtPrio(e.Now()+10, e.Now()+20, func(Time) {}) })
+	mustPanic(t, func() { e.ScheduleAtPrio(e.Now()+10, 0, nil) })
+}
+
+// Property: with random (at, prio <= at) pairs, dispatch follows the
+// documented (at, prio, seq) total order.
+func TestEnginePrioDispatchOrderProperty(t *testing.T) {
+	g := NewRNG(31)
+	e := NewEngine()
+	type key struct {
+		at, prio Time
+		seq      int
+	}
+	var fired []key
+	const n = 3000
+	for i := 0; i < n; i++ {
+		i := i
+		at := Time(g.Intn(500)) * Millisecond
+		prio := Time(g.Intn(int(at/Millisecond)+1)) * Millisecond
+		e.ScheduleAtPrio(at, prio, func(Time) { fired = append(fired, key{at, prio, i}) })
+	}
+	e.Run(Time(1 << 40))
+	if len(fired) != n {
+		t.Fatalf("dispatched %d, want %d", len(fired), n)
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if a.at > b.at || (a.at == b.at && a.prio > b.prio) ||
+			(a.at == b.at && a.prio == b.prio && a.seq > b.seq) {
+			t.Fatalf("out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// Canceling most of the calendar must shrink it (lazy deletion compacts)
+// without disturbing the survivors' dispatch order.
+func TestEngineCancelCompaction(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	events := make([]*Event, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = e.Schedule(Time(i+1)*Millisecond, func(Time) { fired = append(fired, i) })
+	}
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			events[i].Cancel()
+		}
+	}
+	if e.Pending() >= n {
+		t.Fatalf("calendar did not compact: %d pending after canceling 90%%", e.Pending())
+	}
+	e.Run(Second)
+	if len(fired) != n/10 {
+		t.Fatalf("fired %d, want %d", len(fired), n/10)
+	}
+	for j, i := range fired {
+		if i != j*10 {
+			t.Fatalf("fired order = %v..., want multiples of 10 in order", fired[:j+1])
+		}
+	}
+	if e.Executed() != uint64(n/10) {
+		t.Errorf("Executed = %d, want %d", e.Executed(), n/10)
+	}
+}
+
+// Differential stress: random schedule/cancel traffic must dispatch exactly
+// the live events, in exactly the (at, prio, seq) order, no matter how often
+// the calendar compacts in between.
+func TestEngineCompactionDifferential(t *testing.T) {
+	g := NewRNG(77)
+	e := NewEngine()
+	type rec struct {
+		at   Time
+		prio Time
+		id   int
+	}
+	var want []rec
+	var got []rec
+	var live []*Event
+	var liveRec []rec
+	id := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 200; i++ {
+			at := Time(g.Intn(1_000_000))
+			prio := Time(g.Intn(int(at) + 1))
+			r := rec{at, prio, id}
+			id++
+			ev := e.ScheduleAtPrio(at, prio, func(Time) { got = append(got, r) })
+			live = append(live, ev)
+			liveRec = append(liveRec, r)
+		}
+		// Cancel a random two-thirds of everything still outstanding.
+		var keptEv []*Event
+		var keptRec []rec
+		for i, ev := range live {
+			if g.Intn(3) != 0 {
+				ev.Cancel()
+				continue
+			}
+			keptEv = append(keptEv, ev)
+			keptRec = append(keptRec, liveRec[i])
+		}
+		live, liveRec = keptEv, keptRec
+	}
+	_ = live
+	want = append(want, liveRec...)
+	e.Run(Time(1 << 40))
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d, want %d", len(got), len(want))
+	}
+	// The surviving events must come out sorted by (at, prio, booking order).
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		if want[i].prio != want[j].prio {
+			return want[i].prio < want[j].prio
+		}
+		return want[i].id < want[j].id
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch[%d] = %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }
 

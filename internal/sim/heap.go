@@ -1,8 +1,11 @@
 package sim
 
-// eventHeap is a binary min-heap ordered by (time, seq). It is hand-rolled
-// rather than container/heap to avoid the interface boxing on the hot path:
-// a 2M-ms simulation dispatches hundreds of thousands of events.
+// eventHeap is a 4-ary min-heap ordered by (time, prio, tie key, seq). It is
+// hand-rolled rather than container/heap to avoid the interface boxing on
+// the hot path: a 2M-ms simulation dispatches hundreds of thousands of
+// events. The 4-ary layout halves the tree depth of the sift operations and
+// keeps each node's children in one cache line of pointers, which measures
+// faster than the binary layout on calendar-heavy runs.
 type eventHeap struct {
 	items []*Event
 }
@@ -13,6 +16,14 @@ func (h *eventHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	if a.hasTie && b.hasTie {
+		if l, ok := tieLess(a.prio, &a.tie, &b.tie); ok {
+			return l
+		}
 	}
 	return a.seq < b.seq
 }
@@ -46,9 +57,18 @@ func (h *eventHeap) pop() *Event {
 	return top
 }
 
+// reheap restores the heap property over the whole slice (after the engine
+// compacts tombstones out of it).
+func (h *eventHeap) reheap() {
+	n := len(h.items)
+	for i := (n - 2) / 4; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
 func (h *eventHeap) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !h.less(i, parent) {
 			break
 		}
@@ -60,13 +80,19 @@ func (h *eventHeap) up(i int) {
 func (h *eventHeap) down(i int) {
 	n := len(h.items)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			return
 		}
-		smallest := left
-		if right := left + 1; right < n && h.less(right, left) {
-			smallest = right
+		smallest := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if !h.less(smallest, i) {
 			return

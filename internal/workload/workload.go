@@ -89,6 +89,40 @@ func (g Exp2) Steps(rng *sim.RNG) []model.Step {
 // NumFiles returns the total file count of the Experiment-2 database.
 func (g Exp2) NumFiles() int { return g.ReadOnly + g.Hot }
 
+// BatchScan generates the heavy whole-file batch transactions the paper's
+// introduction motivates: each transaction X-locks and scans one whole file
+// of Objects objects, then rewrites a second distinct file of the same size.
+// With Objects much larger than Pattern1's step costs, each cohort is sliced
+// into Objects round-robin quanta at full declustering — the configuration
+// where the DPN service engine dominates simulator wall time, used by the
+// tracked Run benchmarks (BENCH_core.json).
+type BatchScan struct {
+	// NumFiles is the number of files the two scans are drawn from.
+	NumFiles int
+	// Objects is the file size in objects (the cost of each step at DD=1).
+	Objects float64
+}
+
+// NewBatchScan returns a whole-file batch-scan generator.
+func NewBatchScan(numFiles int, objects float64) BatchScan {
+	if numFiles < 2 {
+		panic(fmt.Sprintf("workload: batch scan needs >= 2 files, got %d", numFiles))
+	}
+	if objects <= 0 {
+		panic(fmt.Sprintf("workload: batch scan needs a positive file size, got %g", objects))
+	}
+	return BatchScan{NumFiles: numFiles, Objects: objects}
+}
+
+// Steps instantiates one read-rewrite batch on two distinct random files.
+func (g BatchScan) Steps(rng *sim.RNG) []model.Step {
+	f1, f2 := rng.TwoDistinct(g.NumFiles)
+	return []model.Step{
+		{File: model.FileID(f1), LockMode: model.X, Cost: g.Objects, DeclaredCost: g.Objects},
+		{File: model.FileID(f2), Write: true, LockMode: model.X, Cost: g.Objects, DeclaredCost: g.Objects},
+	}
+}
+
 // Generator is the interface this package implements (mirrors
 // machine.Generator to avoid an import cycle in wrappers).
 type Generator interface {
