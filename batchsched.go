@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 
+	"batchsched/internal/engine/live"
 	"batchsched/internal/experiments"
 	"batchsched/internal/fault"
 	"batchsched/internal/history"
@@ -293,4 +294,122 @@ func ThroughputAt70s(scheduler string, numFiles, dd int, wl string, sigma float6
 	lambda := experiments.SolveLambdaAtRT(p, 1, experiments.TargetRT, 0.02, 1.4, 0.01)
 	p.Lambda = lambda
 	return experiments.Run(p).TPS
+}
+
+// LiveConfig parameterizes the real-execution backend: the same scheduler
+// core the simulator drives, executed for real — one goroutine per
+// data-processing node over an in-memory partitioned store, Go channels for
+// CN<->DPN messaging, and wall-clock round-robin service. See
+// internal/engine/live and DESIGN.md §12.
+type LiveConfig = live.Config
+
+// DefaultLiveConfig mirrors the simulator's default machine shape on the
+// live backend (8 nodes, 16 files, DD 1, compute-bound service).
+func DefaultLiveConfig() LiveConfig { return live.DefaultConfig() }
+
+// GenerateBatch pre-draws the steps of n transactions from gen, so the
+// identical batch can be submitted to both backends (transaction i is
+// byte-identical regardless of backend).
+func GenerateBatch(gen Generator, seed int64, n int) [][]Step {
+	rng := sim.NewRNG(seed).Stream("workload")
+	out := make([][]Step, n)
+	for i := range out {
+		out[i] = gen.Steps(rng)
+	}
+	return out
+}
+
+// RunLiveBatch executes a closed batch on the live backend: every
+// transaction is submitted up front and the run drives the batch to commit,
+// summarizing at the makespan. The returned summary has the same shape as
+// the simulator's (Window is the wall-clock makespan).
+func RunLiveBatch(cfg LiveConfig, scheduler string, params Params, batch [][]Step) (Summary, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, err
+	}
+	b, err := live.New(cfg, s)
+	if err != nil {
+		return Summary{}, err
+	}
+	for _, steps := range batch {
+		b.Submit(steps)
+	}
+	sum := b.Run()
+	if err := b.Err(); err != nil {
+		return sum, err
+	}
+	if scheduler != "NODC" && scheduler != "OPT" {
+		if v := b.Violations(); v != 0 {
+			return sum, fmt.Errorf("batchsched: live %s run observed %d lock-guard violations", scheduler, v)
+		}
+	}
+	return sum, nil
+}
+
+// RunLiveChecked is RunLiveBatch with conflict-serializability
+// verification of the real execution's history, as RunChecked is for Run.
+func RunLiveChecked(cfg LiveConfig, scheduler string, params Params, batch [][]Step) (Summary, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, err
+	}
+	b, err := live.New(cfg, s)
+	if err != nil {
+		return Summary{}, err
+	}
+	rec := history.New()
+	if scheduler == "OPT" {
+		rec = history.NewDeferredWrites()
+	}
+	// Wall-clock stamps from racing goroutines are not globally ordered;
+	// the recorder clamps them monotone (DESIGN.md §12).
+	rec.SetMonotone(true)
+	b.SetObserver(rec)
+	for _, steps := range batch {
+		b.Submit(steps)
+	}
+	sum := b.Run()
+	if err := b.Err(); err != nil {
+		return sum, err
+	}
+	if err := rec.CheckSerializable(); err != nil {
+		return sum, fmt.Errorf("batchsched: %s produced a non-serializable live history: %w", scheduler, err)
+	}
+	return sum, nil
+}
+
+// RunSimBatch executes the same kind of closed batch on the simulator
+// (no arrival process; RunClosed drives the submitted transactions to
+// commit and summarizes at the makespan), for sim-vs-live comparisons.
+func RunSimBatch(cfg Config, scheduler string, params Params, batch [][]Step) (Summary, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, err
+	}
+	cfg.ArrivalRate = 0
+	cfg.Warmup = 0
+	m, err := machine.New(cfg, s, nil, sim.NewRNG(1))
+	if err != nil {
+		return Summary{}, err
+	}
+	for _, steps := range batch {
+		m.Submit(steps)
+	}
+	sum := m.RunClosed(cfg.Duration)
+	if m.InFlight() != 0 {
+		return sum, fmt.Errorf("batchsched: sim %s batch: %d transactions still in flight at horizon", scheduler, m.InFlight())
+	}
+	return sum, nil
+}
+
+// SimVsLiveReport runs the Experiment-1 sim-vs-live comparison grid (the
+// same closed batch through both backends, per scheduler) and returns the
+// rendered ranking table. See internal/experiments.RunSimVsLive.
+func SimVsLiveReport(seed int64, n int) (string, error) {
+	results, err := experiments.RunSimVsLive(seed, n)
+	if err != nil {
+		return "", err
+	}
+	return experiments.SimVsLiveTable(results).String(), nil
 }

@@ -7,6 +7,8 @@
 //	batchsim -sched C2PL+M -mpl 8 -lambda 1.2 -duration 2000
 //	batchsim -sched GOW -workload exp1 -sigma 1.0 -json
 //	batchsim -sched ASL -workload exp2 -lambda 1.0 -check
+//	batchsim -backend live -sched GOW -txns 64 -check
+//	batchsim -compare -txns 32
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"batchsched"
 	"batchsched/internal/metrics"
@@ -38,6 +41,11 @@ func main() {
 		mpl       = flag.Int("mpl", 0, "C2PL+M admission limit (0 = unlimited)")
 		k         = flag.Int("k", 2, "LOW conflict bound K")
 		check     = flag.Bool("check", false, "verify conflict-serializability of the run")
+		backend   = flag.String("backend", "sim", "execution backend: sim (virtual clock) or live (real goroutine-per-DPN execution)")
+		txns      = flag.Int("txns", 64, "closed-batch size for -backend live and -compare")
+		pace      = flag.Duration("pace", 0, "live backend: minimum wall time per object scanned (e.g. 300us)")
+		rows      = flag.Int("rows", 0, "live backend: rows per object in the in-memory store (0 = default)")
+		compare   = flag.Bool("compare", false, "run the Exp-1 sim-vs-live ranking comparison and print the table")
 		traceFile = flag.String("trace", "", "write a JSONL execution trace to this file (single rep only)")
 		asJSON    = flag.Bool("json", false, "print the summary as JSON")
 
@@ -140,6 +148,73 @@ func main() {
 	}
 	if *sigma > 0 {
 		gen = batchsched.WithCostError(gen, *sigma)
+	}
+
+	if *compare {
+		out, err := batchsched.SimVsLiveReport(*seed, *txns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	switch *backend {
+	case "sim":
+	case "live":
+		lcfg := batchsched.DefaultLiveConfig()
+		lcfg.NumNodes = *numNodes
+		lcfg.NumFiles = *numFiles
+		lcfg.DD = *dd
+		lcfg.MPL = *mpl
+		if *rows > 0 {
+			lcfg.RowsPerObject = *rows
+		}
+		lcfg.PacePerObject = *pace
+		// A small jittered restart delay breaks plain-2PL abort/re-acquire
+		// livelock on wall clocks; -restartdelay (seconds) overrides it.
+		lcfg.RestartDelay = 2 * time.Millisecond
+		lcfg.RestartJitter = true
+		if *restartDelay > 0 {
+			lcfg.RestartDelay = time.Duration(*restartDelay * float64(time.Second))
+		}
+		batch := batchsched.GenerateBatch(gen, *seed, *txns)
+		run := batchsched.RunLiveBatch
+		if *check {
+			run = batchsched.RunLiveChecked
+		}
+		sum, err := run(lcfg, *schedName, params, batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(sum); err != nil {
+				fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Printf("backend          live (%d nodes, %d rows/object, pace %v)\n",
+			lcfg.NumNodes, lcfg.RowsPerObject, lcfg.PacePerObject)
+		fmt.Printf("scheduler        %s\n", *schedName)
+		fmt.Printf("workload         %s closed batch of %d (numfiles=%d, dd=%d)\n", *wl, *txns, *numFiles, *dd)
+		fmt.Printf("completions      %d of %d submitted\n", sum.Completions, *txns)
+		fmt.Printf("makespan         %.3f s wall  (throughput %.1f TPS)\n", sum.Window.Seconds(), sum.TPS)
+		fmt.Printf("mean resp. time  %.3f s (p50 %.3f, p90 %.3f, max %.3f)\n",
+			sum.MeanRT.Seconds(), sum.P50RT.Seconds(), sum.P90RT.Seconds(), sum.MaxRT.Seconds())
+		fmt.Printf("blocks %d  delays %d  admission rejects %d  restarts %d\n",
+			sum.Blocks, sum.Delays, sum.AdmissionRejects, sum.Restarts)
+		if *check {
+			fmt.Println("serializability  OK")
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "batchsim: unknown backend %q (want sim or live)\n", *backend)
+		os.Exit(2)
 	}
 
 	if *traceFile != "" {

@@ -1,0 +1,70 @@
+// Package engine defines the execution-backend abstraction the scheduler
+// core runs on. The schedulers (package sched) speak a pure decision
+// protocol — Admit, Request (grant/block/delay/abort), Validate, Committed,
+// Aborted — with no notion of how time passes or where cohorts run. A
+// Backend supplies that half: it owns a clock, accepts transaction
+// submissions, drives the scheduler protocol in control-node order, executes
+// granted steps on data-processing nodes, and emits a metrics.Summary.
+//
+// Two backends exist:
+//
+//   - machine.Machine — the paper's virtual-clock discrete-event simulator
+//     (single-threaded, deterministic, virtual time).
+//   - live.Backend — real concurrent execution: one goroutine per DPN over
+//     an in-memory partitioned store, Go channels for CN<->DPN messaging,
+//     and the wall clock (goroutine-parallel, timing nondeterministic).
+//
+// Both drive the identical scheduler objects through the identical
+// control-node queue discipline, which is what makes differential testing
+// between them meaningful (see DESIGN.md §12).
+package engine
+
+import (
+	"batchsched/internal/metrics"
+	"batchsched/internal/model"
+	"batchsched/internal/sim"
+)
+
+// Clock reads the backend's notion of now. The simulator returns virtual
+// time; the live backend returns wall time elapsed since Run started,
+// expressed in the same sim.Time microsecond unit so metrics are comparable.
+type Clock interface {
+	Now() sim.Time
+}
+
+// Observer receives execution events, for history recording and invariant
+// checks. machine.Observer and the live backend's observer hook are both
+// this type.
+type Observer interface {
+	// StepDone fires when a step's cohorts have all completed.
+	StepDone(t *model.Txn, step int, at sim.Time)
+	// Committed fires when a transaction commits.
+	Committed(t *model.Txn, at sim.Time)
+	// Restarted fires when a rollback (optimistic validation failure or
+	// deadlock abort) discards the transaction's current attempt.
+	Restarted(t *model.Txn, at sim.Time)
+}
+
+// Generator produces the declared steps of successive transactions
+// (implemented by package workload).
+type Generator interface {
+	Steps(rng *sim.RNG) []model.Step
+}
+
+// Backend is one execution substrate for the scheduler core. Submit
+// transactions, then call Run exactly once; Run drives everything to
+// completion (the simulator to its horizon, the live backend to batch
+// drain) and returns the summary.
+type Backend interface {
+	Clock
+	// Submit injects a transaction at the current time. For closed-batch
+	// runs, call it once per transaction before Run.
+	Submit(steps []model.Step) *model.Txn
+	// SetObserver installs an execution observer (history recorder, trace
+	// writer). Call before Run.
+	SetObserver(Observer)
+	// Run executes to completion and returns the digested metrics.
+	Run() metrics.Summary
+	// InFlight reports how many submitted transactions have not committed.
+	InFlight() int
+}

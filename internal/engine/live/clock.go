@@ -1,0 +1,25 @@
+package live
+
+import (
+	"time"
+
+	"batchsched/internal/sim"
+)
+
+// wallClock maps the wall clock onto the sim.Time microsecond axis: Now is
+// the time elapsed since the clock was created. time.Since uses Go's
+// monotonic clock reading, so a single goroutine observes nondecreasing
+// values; readings taken on *different* goroutines (CN vs DPNs) carry no
+// ordering guarantee relative to each other once they interleave, which is
+// why every recorder downstream of this clock is monotonic-safe.
+type wallClock struct {
+	start time.Time
+}
+
+func newWallClock() *wallClock { return &wallClock{start: time.Now()} }
+
+// Now returns the elapsed wall time in sim.Time microseconds. Safe for
+// concurrent use: start is immutable after construction.
+func (c *wallClock) Now() sim.Time {
+	return sim.Time(time.Since(c.start) / time.Microsecond)
+}

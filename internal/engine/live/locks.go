@@ -1,0 +1,47 @@
+package live
+
+import (
+	"batchsched/internal/lock"
+	"batchsched/internal/model"
+)
+
+// dataGuard is one data-processing node's local lock table over its
+// resident partitions. It is not a second scheduler: the CN's scheduler has
+// already decided every grant. The guard re-checks the decision at the data
+// — a cohort arriving incompatible with a co-resident cohort means the
+// scheduler granted conflicting locks, the exact failure differential tests
+// must surface. Violations are counted, not panicked on: NODC grants
+// everything by design, so the invariant "violations == 0" belongs to the
+// callers that run real schedulers.
+//
+// Owned by a single DPN goroutine; no internal locking.
+type dataGuard struct {
+	tab        *lock.Table
+	violations int
+}
+
+func newDataGuard() *dataGuard { return &dataGuard{tab: lock.NewTable()} }
+
+// acquire records txn's lock on f for a cohort entering service and reports
+// whether it was compatible with the co-resident cohorts. An incompatible
+// arrival counts a violation and acquires nothing (service proceeds anyway
+// — the live backend executes what the scheduler decided, it does not
+// second-guess it).
+func (g *dataGuard) acquire(txn int64, f model.FileID, m model.Mode) bool {
+	if !g.tab.CanGrant(txn, f, m) {
+		g.violations++
+		return false
+	}
+	g.tab.Grant(txn, f, m)
+	return true
+}
+
+// release drops txn's locks when its cohort leaves the node. A transaction
+// has at most one active step, so it holds at most one file here; releasing
+// all is exact. Releasing after a violating (unrecorded) acquire is a no-op.
+func (g *dataGuard) release(txn int64) {
+	g.tab.ReleaseAll(txn)
+}
+
+// Violations returns how many incompatible co-residencies were observed.
+func (g *dataGuard) Violations() int { return g.violations }

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSimVsLiveRankings is the acceptance check the real-execution-backend
+// PR names: on the Exp-1 grid, the simulator and the live backend must
+// agree on the schedulers' relative throughput ranking (every pair both
+// backends separate beyond the noise margin must be ordered identically),
+// and NODC — which never blocks anything — must be the fastest on both.
+func TestSimVsLiveRankings(t *testing.T) {
+	n := 32
+	if testing.Short() {
+		n = 16
+	}
+	results, err := RunSimVsLive(7, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(SimVsLiveGrid) {
+		t.Fatalf("got %d cells, want %d", len(results), len(SimVsLiveGrid))
+	}
+	for _, r := range results {
+		if err := RankingsAgree(r.SimTPS, r.LiveTPS, 0.10); err != nil {
+			t.Errorf("cell %v: %v", r.Cell, err)
+		}
+		simRank, liveRank := Ranking(r.SimTPS), Ranking(r.LiveTPS)
+		t.Logf("cell %v: sim ranking %v, live ranking %v", r.Cell, simRank, liveRank)
+		if simRank[0] != "NODC" {
+			t.Errorf("cell %v: sim ranks %s fastest, want NODC (it never blocks)", r.Cell, simRank[0])
+		}
+		if liveRank[0] != "NODC" {
+			t.Errorf("cell %v: live ranks %s fastest, want NODC (it never blocks)", r.Cell, liveRank[0])
+		}
+	}
+}
+
+func TestRankingsAgreeMargin(t *testing.T) {
+	simT := map[string]float64{"A": 10, "B": 5, "C": 4.8}
+	liveT := map[string]float64{"A": 100, "B": 48, "C": 50}
+	// B vs C is inside a 10% margin on both sides: no information, agree.
+	if err := RankingsAgree(simT, liveT, 0.10); err != nil {
+		t.Fatalf("margin should absorb the B/C flip: %v", err)
+	}
+	// With a tight margin the flip is a real disagreement.
+	if err := RankingsAgree(simT, liveT, 0.01); err == nil {
+		t.Fatal("expected disagreement on B vs C at 1% margin")
+	}
+	// A clear inversion is always a disagreement.
+	liveT["B"] = 200
+	if err := RankingsAgree(simT, liveT, 0.10); err == nil {
+		t.Fatal("expected disagreement on A vs B")
+	}
+}
+
+func TestSimVsLiveTableShape(t *testing.T) {
+	results := []SimVsLiveResult{{
+		Cell:    SimVsLiveCell{NumFiles: 4, DD: 1},
+		SimTPS:  map[string]float64{"NODC": 4, "GOW": 3, "LOW": 2.5, "C2PL": 1},
+		LiveTPS: map[string]float64{"NODC": 400, "GOW": 290, "LOW": 260, "C2PL": 90},
+	}}
+	tbl := SimVsLiveTable(results)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"NODC", "GOW", "LOW", "C2PL", "files=4 DD=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+}

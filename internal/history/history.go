@@ -31,6 +31,8 @@ type Recorder struct {
 	commits   int
 	restarts  int
 	seq       int
+	lastAt    sim.Time // high-water mark for monotone clamping
+	monotone  bool
 	deferred  bool
 }
 
@@ -52,12 +54,36 @@ func NewDeferredWrites() *Recorder {
 	return r
 }
 
+// SetMonotone makes the recorder clamp operation timestamps nondecreasing
+// in recording order. Wall-clock sources (the live backend) must enable
+// this: the serialization-graph checker orders same-file operations by
+// (at, seq), and a clock reading behind an earlier one would re-order
+// operations against the real execution order, fabricating (or hiding)
+// conflicts. Clamping to the recording-order high-water mark is sound
+// there because the control node records events in its processing order,
+// which respects the conflict order — a conflicting step cannot run before
+// the CN has processed its predecessor's release. Off by default: a
+// virtual-time recorder may legitimately be fed per-transaction op batches
+// whose stamps interleave.
+func (r *Recorder) SetMonotone(on bool) { r.monotone = on }
+
+func (r *Recorder) clamp(at sim.Time) sim.Time {
+	if !r.monotone {
+		return at
+	}
+	if at < r.lastAt {
+		return r.lastAt
+	}
+	r.lastAt = at
+	return at
+}
+
 // StepDone records a finished step (machine.Observer).
 func (r *Recorder) StepDone(t *model.Txn, step int, at sim.Time) {
 	st := t.Steps[step]
 	r.seq++
 	r.live[t.ID] = append(r.live[t.ID], op{
-		txn: t.ID, file: st.File, write: st.Write, at: at, seq: r.seq,
+		txn: t.ID, file: st.File, write: st.Write, at: r.clamp(at), seq: r.seq,
 	})
 }
 
@@ -67,6 +93,7 @@ func (r *Recorder) StepDone(t *model.Txn, step int, at sim.Time) {
 func (r *Recorder) Committed(t *model.Txn, at sim.Time) {
 	ops := r.live[t.ID]
 	if r.deferred {
+		at = r.clamp(at)
 		for i := range ops {
 			if ops[i].write {
 				r.seq++

@@ -67,6 +67,13 @@ type Config struct {
 	// long before it re-executes — the paper's "aborted requests are
 	// submitted again after some delay". Zero restarts immediately.
 	RestartDelay sim.Time
+	// RestartJitter randomizes each restart hold-back to uniform
+	// [0.5, 1.5) x RestartDelay (drawn from the machine RNG's "restart"
+	// stream). A fixed delay can lock symmetric deadlock victims into a
+	// periodic abort/re-acquire orbit that never drains — classic restart
+	// livelock under strict 2PL — and randomized backoff is the standard
+	// way to break it. Off by default; ignored when RestartDelay is zero.
+	RestartJitter bool
 	// Faults configures the fault injector (crashes, stragglers, lossy
 	// messaging). The zero value is the paper's failure-free machine and
 	// leaves the failure-free event sequence untouched.

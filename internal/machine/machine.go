@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"batchsched/internal/engine"
 	"batchsched/internal/fault"
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
@@ -13,21 +14,16 @@ import (
 
 // Generator produces the declared steps of successive transactions. It is
 // implemented by package workload; the machine calls it once per arrival.
-type Generator interface {
-	Steps(rng *sim.RNG) []model.Step
-}
+// An alias of engine.Generator, so workload generators feed every backend.
+type Generator = engine.Generator
 
 // Observer receives execution events, for history recording and invariant
-// checks. All methods may be nil-receivers-safe no-ops; see NopObserver.
-type Observer interface {
-	// StepDone fires when a step's cohorts have all completed.
-	StepDone(t *model.Txn, step int, at sim.Time)
-	// Committed fires when a transaction commits.
-	Committed(t *model.Txn, at sim.Time)
-	// Restarted fires when an optimistic validation failure rolls a
-	// transaction back.
-	Restarted(t *model.Txn, at sim.Time)
-}
+// checks. An alias of engine.Observer: the same recorders plug into the
+// simulator and the live backend.
+type Observer = engine.Observer
+
+// Machine is one execution backend (the virtual-clock simulator).
+var _ engine.Backend = (*Machine)(nil)
 
 // txnPhase is the lifecycle position of a transaction inside the machine.
 type txnPhase int
@@ -90,6 +86,7 @@ type Machine struct {
 
 	arrivalRNG  *sim.RNG
 	workloadRNG *sim.RNG
+	restartRNG  *sim.RNG
 
 	nextID    int64
 	active    int // admitted, uncommitted (machine-level MPL accounting)
@@ -128,6 +125,7 @@ func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, 
 		cn:          newControlNode(eng, met),
 		arrivalRNG:  rng.Stream("arrivals"),
 		workloadRNG: rng.Stream("workload"),
+		restartRNG:  rng.Stream("restart"),
 		blocked:     make(map[model.FileID][]*exec),
 	}
 	m.cn.m = m
@@ -235,6 +233,9 @@ func (m *Machine) SetObs(o *obs.Observer) {
 // Engine exposes the simulation engine (for tests that drive time manually).
 func (m *Machine) Engine() *sim.Engine { return m.eng }
 
+// Now returns the current virtual time (engine.Clock).
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
 // Submit injects a transaction at the current virtual time (used by tests
 // and by runs with ArrivalRate == 0). Steps are used as-is.
 func (m *Machine) Submit(steps []model.Step) *model.Txn {
@@ -266,6 +267,28 @@ func (m *Machine) Run() metrics.Summary {
 	}
 	m.ob.Finish(m.eng.Now())
 	return m.met.Summarize(m.cfg.Duration)
+}
+
+// RunClosed executes a closed batch: every transaction must already have
+// been Submitted (ArrivalRate is ignored). Events are dispatched until the
+// whole batch commits — or the calendar drains or the horizon passes,
+// whichever is first — and the summary window is the makespan, so TPS is
+// batch throughput. This is the simulator side of sim-vs-live differential
+// runs, which are all closed batches (the live backend has no arrival
+// process).
+func (m *Machine) RunClosed(horizon sim.Time) metrics.Summary {
+	if m.inj != nil {
+		m.inj.Start()
+	}
+	m.ob.StartSampling(m.eng)
+	for m.InFlight() > 0 && m.eng.Step(horizon) {
+	}
+	now := m.eng.Now()
+	for _, d := range m.dpns {
+		d.flush(now)
+	}
+	m.ob.Finish(now)
+	return m.met.Summarize(now)
 }
 
 func (m *Machine) scheduleNextArrival() {
@@ -645,7 +668,14 @@ func (m *Machine) restartAfterDelay(e *exec) {
 		return
 	}
 	e.phase = phAdmit
-	m.eng.SchedulePayload(m.cfg.RestartDelay, m.onRetryAdmit, e)
+	d := m.cfg.RestartDelay
+	if m.cfg.RestartJitter {
+		d = sim.Time(float64(d) * (0.5 + m.restartRNG.Float64()))
+		if d < 1 {
+			d = 1
+		}
+	}
+	m.eng.SchedulePayload(d, m.onRetryAdmit, e)
 }
 
 // wakeCommit reconsiders everything a commit can unblock: requests blocked

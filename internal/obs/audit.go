@@ -41,6 +41,7 @@ type AuditEntry struct {
 // audit bookkeeping with a single nil check.
 type Audit struct {
 	now     func() sim.Time
+	lastMS  float64
 	entries []AuditEntry
 }
 
@@ -52,13 +53,20 @@ func (a *Audit) SetClock(now func() sim.Time) {
 	}
 }
 
-// Record appends one decision, stamping the current virtual time.
+// Record appends one decision, stamping the current clock reading. Stamps
+// are clamped nondecreasing: a wall clock read from the live backend can
+// regress relative to an earlier entry, and the log must stay replayable in
+// order. The clamp never fires under virtual time.
 func (a *Audit) Record(e AuditEntry) {
 	if a == nil {
 		return
 	}
 	if a.now != nil {
 		e.AtMS = a.now().Milliseconds()
+		if e.AtMS < a.lastMS {
+			e.AtMS = a.lastMS
+		}
+		a.lastMS = e.AtMS
 	}
 	a.entries = append(a.entries, e)
 }

@@ -101,14 +101,20 @@ func (o *Observer) Begin(name, cat string, txn int64, node, extra int, parent Sp
 	return SpanID(len(o.spans))
 }
 
-// End closes an open span at virtual time at. Ending the zero span, or a
-// span already ended, is a no-op.
+// End closes an open span at time at. Ending the zero span, or a span
+// already ended, is a no-op. A close time before the span's start is
+// clamped to the start: wall-clock sources (the live backend) are not
+// guaranteed monotone across goroutines, and a negative-length span would
+// corrupt the exporters. The clamp never fires under virtual time.
 func (o *Observer) End(id SpanID, at sim.Time) {
 	if o == nil || id == 0 {
 		return
 	}
 	sp := &o.spans[id-1]
 	if sp.End < 0 {
+		if at < sp.Start {
+			at = sp.Start
+		}
 		sp.End = at
 	}
 }
@@ -149,8 +155,26 @@ func (o *Observer) StartSampling(eng *sim.Engine) {
 }
 
 func (o *Observer) sample(now sim.Time) {
+	// Clamp against clock regression (wall-clock sources): sample rows must
+	// be nondecreasing in time or the CSV/HTML exporters would render
+	// backwards series. No-op under virtual time.
+	if now < o.lastTick {
+		now = o.lastTick
+	}
 	o.lastTick = now
 	o.reg.sample(now)
+}
+
+// SampleNow takes one metrics sample at the given clock reading — the
+// sampling hook for backends that do not run on a sim.Engine (wall-clock
+// execution). Callers drive it on their own period; Finish then takes the
+// final sample as usual.
+func (o *Observer) SampleNow(now sim.Time) {
+	if o == nil || o.interval <= 0 {
+		return
+	}
+	o.sampling = true
+	o.sample(now)
 }
 
 // Finish seals the recording at the end of a run: it closes every span

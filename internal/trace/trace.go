@@ -83,6 +83,7 @@ type Writer struct {
 	bw     *bufio.Writer
 	enc    *json.Encoder
 	events int
+	lastAt float64
 	err    error
 }
 
@@ -96,6 +97,14 @@ func (t *Writer) emit(e Event) {
 	if t.err != nil {
 		return
 	}
+	// Clamp event times nondecreasing in emission order: wall-clock sources
+	// (the live backend) can stamp an event behind its predecessor, and a
+	// JSONL trace that runs backwards breaks downstream timeline tools.
+	// No-op under monotone virtual time.
+	if e.At < t.lastAt {
+		e.At = t.lastAt
+	}
+	t.lastAt = e.At
 	if err := t.enc.Encode(e); err != nil {
 		t.err = err
 		return
