@@ -110,6 +110,36 @@ func Run(cfg Config, scheduler string, params Params, gen Generator, seed int64)
 	return m.Run(), nil
 }
 
+// RunStats reports how the engine itself executed a run (as opposed to what
+// the simulated machine did): calendar events dispatched, the safe-wave
+// statistics of the sharded-calendar engine (zeros on the merged-calendar
+// path), and each DPN's busy fraction of the virtual span — the per-shard
+// utilization that makes lookahead starvation visible.
+type RunStats struct {
+	Events           uint64
+	Waves            uint64
+	WaveMembers      uint64
+	ShardUtilization []float64
+}
+
+// RunWithStats is Run, additionally returning the engine's execution stats.
+func RunWithStats(cfg Config, scheduler string, params Params, gen Generator, seed int64) (Summary, RunStats, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, RunStats{}, err
+	}
+	m, err := machine.New(cfg, s, gen, sim.NewRNG(seed))
+	if err != nil {
+		return Summary{}, RunStats{}, err
+	}
+	sum := m.Run()
+	var st RunStats
+	st.Events = m.Engine().Executed()
+	st.Waves, st.WaveMembers = m.WaveStats()
+	st.ShardUtilization = m.ShardUtilization(nil)
+	return sum, st, nil
+}
+
 // RunChecked is Run with conflict-serializability verification: it records
 // the run's committed history and returns an error if the serialization
 // graph has a cycle. NODC is expected to fail this check under contention.

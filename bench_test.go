@@ -2,6 +2,8 @@ package batchsched
 
 import (
 	"os"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"batchsched/internal/experiments"
@@ -86,6 +88,23 @@ func BenchmarkTable5(b *testing.B) { benchArtifact(b, "table5") }
 // BENCH_core.json. Set BENCH_QUANTUM_STEPPED=1 to run the quantum-per-event
 // oracle instead (Config.QuantumStepped) — that is how the "pre" snapshot of
 // BENCH_core.json is produced.
+//
+// events/sec/core is the scheduling-normalized throughput figure tracked by
+// the benchjson -compare gate: dispatched events per wall-clock second,
+// divided by the cores the run may occupy (min(max(1, ParallelRun),
+// GOMAXPROCS)), so a parallel run has to beat the sequential engine per
+// core spent, not just in aggregate. Set BENCH_PARALLEL_RUN=N to run the
+// sharded-calendar engine (Config.ParallelRun) instead of the merged one.
+
+// benchParallelRun reads BENCH_PARALLEL_RUN (0, the merged calendar, when
+// unset or malformed).
+func benchParallelRun() int {
+	n, err := strconv.Atoi(os.Getenv("BENCH_PARALLEL_RUN"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
 
 func benchOneRun(b *testing.B, scheduler string, lambda float64) {
 	b.Helper()
@@ -95,6 +114,9 @@ func benchOneRun(b *testing.B, scheduler string, lambda float64) {
 	cfg.ArrivalRate = lambda
 	cfg.Duration = 200_000 * Millisecond
 	cfg.QuantumStepped = os.Getenv("BENCH_QUANTUM_STEPPED") == "1"
+	if !cfg.QuantumStepped {
+		cfg.ParallelRun = benchParallelRun()
+	}
 	gen := NewBatchScanWorkload(16, 32)
 	b.ReportAllocs()
 	var events uint64
@@ -113,6 +135,16 @@ func benchOneRun(b *testing.B, scheduler string, lambda float64) {
 		events += m.Engine().Executed()
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	cores := cfg.ParallelRun
+	if cores < 1 {
+		cores = 1
+	}
+	if g := runtime.GOMAXPROCS(0); cores > g {
+		cores = g
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs/float64(cores), "events/sec/core")
+	}
 }
 
 // Arrival rates sit at the mid-range of each scheduler's operating region

@@ -41,6 +41,8 @@ func main() {
 		mpl       = flag.Int("mpl", 0, "C2PL+M admission limit (0 = unlimited)")
 		k         = flag.Int("k", 2, "LOW conflict bound K")
 		check     = flag.Bool("check", false, "verify conflict-serializability of the run")
+		parallel  = flag.Int("parallel-run", 0, "sharded-calendar PDES: 0 = merged calendar, 1 = sharded single-core, N>1 = N wave-prepare workers (results byte-identical; see DESIGN.md)")
+		progress  = flag.Bool("progress", false, "print engine execution stats after the run: events/sec, safe waves, per-shard utilization")
 		backend   = flag.String("backend", "sim", "execution backend: sim (virtual clock) or live (real goroutine-per-DPN execution)")
 		txns      = flag.Int("txns", 64, "closed-batch size for -backend live and -compare")
 		pace      = flag.Duration("pace", 0, "live backend: minimum wall time per object scanned (e.g. 300us)")
@@ -95,7 +97,16 @@ func main() {
 		}()
 	}
 
+	// -progress reports the engine's own execution counters, which only the
+	// plain replication path collects; the -check and observability paths
+	// run the simulation through different entry points.
+	if *progress && (*check || *traceOut != "" || *metricsOut != "" || *auditOut != "" || *reportOut != "") {
+		fmt.Fprintln(os.Stderr, "batchsim: -progress is incompatible with -check and the observability outputs")
+		os.Exit(2)
+	}
+
 	cfg := batchsched.DefaultConfig()
+	cfg.ParallelRun = *parallel
 	cfg.ArrivalRate = *lambda
 	cfg.NumFiles = *numFiles
 	cfg.NumNodes = *numNodes
@@ -234,9 +245,11 @@ func main() {
 	}
 
 	var (
-		sum batchsched.Summary
-		ci  batchsched.CI
-		err error
+		sum  batchsched.Summary
+		ci   batchsched.CI
+		err  error
+		st   batchsched.RunStats
+		wall time.Duration
 	)
 	if *traceOut != "" || *metricsOut != "" || *auditOut != "" || *reportOut != "" {
 		// The observability exporters describe one run; replications and
@@ -281,6 +294,25 @@ func main() {
 			sums = append(sums, one)
 		}
 		sum, ci = metrics.AverageWithCI(sums)
+	} else if *progress {
+		// Same replication loop as RunReplicated, but keeping the engine's
+		// own execution stats and the wall clock for the report below.
+		start := time.Now()
+		var sums []batchsched.Summary
+		for r := 0; r < *reps; r++ {
+			one, stOne, rerr := batchsched.RunWithStats(cfg, *schedName, params, gen, *seed+int64(r))
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "batchsim: %v\n", rerr)
+				os.Exit(1)
+			}
+			st.Events += stOne.Events
+			st.Waves += stOne.Waves
+			st.WaveMembers += stOne.WaveMembers
+			st.ShardUtilization = stOne.ShardUtilization
+			sums = append(sums, one)
+		}
+		wall = time.Since(start)
+		sum, ci = metrics.AverageWithCI(sums)
 	} else {
 		sum, ci, err = batchsched.RunReplicated(cfg, *schedName, params, gen, *seed, *reps)
 		if err != nil {
@@ -320,6 +352,25 @@ func main() {
 			sum.Crashes, sum.CrashAborts, sum.StragglerEpisodes, sum.MsgLost, sum.MsgRetries, sum.MsgAborts)
 		fmt.Printf("availability     %.2f%%  degraded %.0fs (%.3f TPS inside)\n",
 			100*sum.Availability(), sum.DegradedTime.Seconds(), sum.DegradedTPS)
+	}
+	if *progress {
+		evPerSec := 0.0
+		if wall > 0 {
+			evPerSec = float64(st.Events) / wall.Seconds()
+		}
+		fmt.Printf("engine           %d events in %.3fs wall (%.0f events/sec, parallel-run=%d)\n",
+			st.Events, wall.Seconds(), evPerSec, *parallel)
+		if st.Waves > 0 {
+			fmt.Printf("safe waves       %d waves, %d members (mean width %.2f)\n",
+				st.Waves, st.WaveMembers, float64(st.WaveMembers)/float64(st.Waves))
+		}
+		// Per-shard busy fractions of the virtual span (last replication):
+		// a shard stuck near zero is being starved of lookahead.
+		fmt.Printf("shard util      ")
+		for _, u := range st.ShardUtilization {
+			fmt.Printf(" %.2f", u)
+		}
+		fmt.Println()
 	}
 	if *check {
 		fmt.Println("serializability  OK")

@@ -41,6 +41,12 @@ type benchResult struct {
 	// dispatched per benchmark op (b.ReportMetric(..., "events/op")) —
 	// recorded so event-coalescing wins are tracked next to wall time.
 	EventsPerOp float64 `json:"events_per_op,omitempty"`
+	// EventsPerSecPerCore is dispatched events per wall-clock second per
+	// core the run may occupy (b.ReportMetric(..., "events/sec/core")): the
+	// scheduling-normalized throughput figure, so a ParallelRun engine is
+	// held to beating the sequential one per core spent. Higher is better;
+	// -compare treats a drop beyond -max-regress as a regression.
+	EventsPerSecPerCore float64 `json:"events_per_sec_per_core,omitempty"`
 }
 
 type snapshot struct {
@@ -52,6 +58,9 @@ type speedup struct {
 	Time   float64 `json:"time"`
 	Allocs float64 `json:"allocs,omitempty"`
 	Events float64 `json:"events,omitempty"`
+	// PerCore is post/pre events_per_sec_per_core (>1 means post pushes
+	// more events through each core it occupies).
+	PerCore float64 `json:"per_core,omitempty"`
 }
 
 type baseline struct {
@@ -98,6 +107,8 @@ func parseBench(r *bufio.Scanner) (map[string]benchResult, error) {
 				br.AllocsPerOp = v
 			case "events/op":
 				br.EventsPerOp = v
+			case "events/sec/core":
+				br.EventsPerSecPerCore = v
 			}
 		}
 		if br.NsPerOp == 0 {
@@ -171,6 +182,9 @@ func main() {
 			if p.EventsPerOp > 0 {
 				s.Events = round2(pre.Benches[n].EventsPerOp / p.EventsPerOp)
 			}
+			if q := pre.Benches[n].EventsPerSecPerCore; q > 0 && p.EventsPerSecPerCore > 0 {
+				s.PerCore = round2(p.EventsPerSecPerCore / q)
+			}
 			bl.Speedup[n] = s
 		}
 	}
@@ -215,9 +229,10 @@ func loadBaseline(path string) (snapshot, error) {
 
 // runCompare diffs the "post" snapshots of two baseline files and returns
 // the process exit code: 0 when every shared benchmark's ns/op — and, where
-// both snapshots report it, events/op — regression stays within maxRegress
-// percent, 1 otherwise. Events/op is deterministic per workload, so any
-// growth there is a real coalescing loss rather than machine noise.
+// both snapshots report them, events/op and events/sec/core — regression
+// stays within maxRegress percent, 1 otherwise. Events/op is deterministic
+// per workload, so any growth there is a real coalescing loss rather than
+// machine noise; events/sec/core regresses by DROPPING (higher is better).
 func runCompare(oldPath, newPath string, maxRegress float64) int {
 	oldSnap, err := loadBaseline(oldPath)
 	if err != nil {
@@ -242,7 +257,7 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-12s %14s %14s %9s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta")
+	fmt.Printf("%-12s %14s %14s %9s %14s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta", "ev/s/core")
 	failed := false
 	for _, n := range names {
 		o, nw := oldSnap.Benches[n], newSnap.Benches[n]
@@ -261,10 +276,19 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 				failed = true
 			}
 		}
-		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, mark)
+		coreCol := "-"
+		if o.EventsPerSecPerCore > 0 && nw.EventsPerSecPerCore > 0 {
+			coreDelta := (nw.EventsPerSecPerCore/o.EventsPerSecPerCore - 1) * 100
+			coreCol = fmt.Sprintf("%+.1f%%", coreDelta)
+			if -coreDelta > maxRegress {
+				mark = "  REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s %14s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, coreCol, mark)
 	}
 	if failed {
-		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op or events/op\n", maxRegress)
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op, events/op, or events/sec/core\n", maxRegress)
 		return 1
 	}
 	fmt.Printf("OK: all %d shared benchmarks within %.1f%% of baseline\n", len(names), maxRegress)

@@ -41,6 +41,7 @@ func main() {
 		outDir    = flag.String("out", "sweep-out", "output directory")
 		resume    = flag.Bool("resume", false, "resume from the output directory's checkpoint")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		runWorker = flag.Int("run-workers", 0, "intra-run wave workers per unit (sharded-calendar engine; the -workers budget is split between cells and runs)")
 		progress  = flag.Bool("progress", false, "print live progress (units/sec, ETA, virtual/wall ratio)")
 		reps      = flag.Int("reps", 0, "replications per cell (0 = spec's, default 1)")
 		seed      = flag.Int64("seed", 0, "root seed (0 = spec's, default 1)")
@@ -88,6 +89,7 @@ func main() {
 
 	opt := sweep.Options{
 		Workers:    *workers,
+		RunWorkers: *runWorker,
 		Checkpoint: filepath.Join(*outDir, "checkpoint.jsonl"),
 		Resume:     *resume,
 		HaltAfter:  *haltAfter,
@@ -99,7 +101,11 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "sweep %s: %d cells x %d reps = %d units\n",
 		spec.Norm().Name, len(spec.Cells()), spec.Norm().Reps, spec.NumUnits())
-	res, err := sweep.Run(ctx, spec, experiments.RunCell, opt)
+	runFn := experiments.RunCell
+	if *runWorker > 0 {
+		runFn = experiments.RunCellParallel(*runWorker)
+	}
+	res, err := sweep.Run(ctx, spec, runFn, opt)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}

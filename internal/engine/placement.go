@@ -32,3 +32,15 @@ func (p Placement) Nodes(f model.FileID) []int {
 	}
 	return out
 }
+
+// NodesInto is Nodes with a caller-provided buffer, for allocation-free hot
+// paths: buf is truncated, filled with the partition nodes (home first) and
+// returned.
+func (p Placement) NodesInto(f model.FileID, buf []int) []int {
+	buf = buf[:0]
+	home := p.Home(f)
+	for i := 0; i < p.DD; i++ {
+		buf = append(buf, (home+i)%p.NumNodes)
+	}
+	return buf
+}

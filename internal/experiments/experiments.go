@@ -62,6 +62,10 @@ type Point struct {
 	// QuantumStepped selects the quantum-per-event DPN oracle instead of
 	// the fast-forward engine (identical results, more calendar events).
 	QuantumStepped bool
+	// ParallelRun selects the sharded-calendar PDES engine (results are
+	// byte-identical to the merged calendar): 0 = merged, 1 = sharded on
+	// the caller's goroutine, N > 1 = N wave-prepare workers per run.
+	ParallelRun int
 }
 
 func (p Point) generator() machine.Generator {
@@ -118,6 +122,7 @@ func runObserved(p Point, seed int64, ob *obs.Observer) metrics.Summary {
 	cfg.RestartDelay = p.RestartDelay
 	cfg.Faults = p.Faults
 	cfg.QuantumStepped = p.QuantumStepped
+	cfg.ParallelRun = p.ParallelRun
 	m, err := machine.New(cfg, sched.MustNew(p.Scheduler, params), p.generator(), sim.NewRNG(seed))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

@@ -94,6 +94,35 @@ type Machine struct {
 	admitQ    []*exec
 	blocked   map[model.FileID][]*exec
 	delayed   []*exec
+	// admitSpare/delayedSpare double-buffer the wake queues: a wake-up swaps
+	// the live queue for the (emptied) spare and iterates the old backing
+	// array, so re-parks during the sweep cannot alias the slice being
+	// iterated and neither side reallocates at steady state.
+	admitSpare   []*exec
+	delayedSpare []*exec
+
+	// Sharded-PDES state (Config.ParallelRun; parallel.go): the safe-wave
+	// run loop's member buffer, the prepare-phase worker pool (nil until the
+	// first multi-member wave), and the wave statistics surfaced by
+	// WaveStats for -progress output.
+	shardedRun  bool
+	waveWorkers int
+	waveBuf     []*sim.Event
+	pool        *wavePool
+	waves       uint64
+	waveMembers uint64
+
+	// Hot-path free lists (zero steady-state allocations per event): spent
+	// stepRuns and their cohorts are recycled when a step completes cleanly,
+	// committed execs when their transaction retires; fault-retired objects
+	// are deliberately leaked to the GC (a stale timer may still reference
+	// them). cohortSlab batch-allocates cohorts; nodesBuf backs
+	// Placement.NodesInto.
+	runPool    []*stepRun
+	cohortPool []*cohort
+	cohortSlab []cohort
+	execPool   []*exec
+	nodesBuf   []int
 
 	// Pre-bound event handlers: recurring events carry their state in a
 	// pointer payload instead of a per-event closure.
@@ -135,6 +164,14 @@ func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, 
 		m.dpns[i].stepped = cfg.QuantumStepped
 		m.dpns[i].complete = m.cohortFinished
 	}
+	if cfg.ParallelRun > 0 {
+		m.shardedRun = true
+		m.waveWorkers = cfg.ParallelRun
+		eng.SetShards(cfg.NumNodes)
+		for _, d := range m.dpns {
+			d.sharded = true
+		}
+	}
 	m.onArrival = func(sim.Time) {
 		steps := m.gen.Steps(m.workloadRNG)
 		m.Submit(steps)
@@ -162,12 +199,69 @@ func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, 
 // fileLoad reports the mean number of resident cohorts across the nodes
 // holding f's partitions — the congestion probe for load-aware schedulers.
 func (m *Machine) fileLoad(f model.FileID) float64 {
-	nodes := m.place.Nodes(f)
+	m.nodesBuf = m.place.NodesInto(f, m.nodesBuf)
 	total := 0
-	for _, n := range nodes {
+	for _, n := range m.nodesBuf {
 		total += m.dpns[n].queueLen()
 	}
-	return float64(total) / float64(len(nodes))
+	return float64(total) / float64(len(m.nodesBuf))
+}
+
+// newExec wraps a transaction, reusing a retired exec when one is pooled.
+func (m *Machine) newExec(t *model.Txn) *exec {
+	if n := len(m.execPool); n > 0 {
+		e := m.execPool[n-1]
+		m.execPool[n-1] = nil
+		m.execPool = m.execPool[:n-1]
+		*e = exec{txn: t}
+		return e
+	}
+	return &exec{txn: t}
+}
+
+// newStepRun starts a dispatch attempt, reusing a cleanly-retired stepRun
+// (and its cohorts slice) when one is pooled.
+func (m *Machine) newStepRun(e *exec, home, attempt int) *stepRun {
+	if n := len(m.runPool); n > 0 {
+		r := m.runPool[n-1]
+		m.runPool[n-1] = nil
+		m.runPool = m.runPool[:n-1]
+		*r = stepRun{e: e, home: home, attempt: attempt, cohorts: r.cohorts[:0]}
+		return r
+	}
+	return &stepRun{e: e, home: home, attempt: attempt}
+}
+
+// newCohort takes a cohort off the free list, batch-allocating a fresh slab
+// when it runs dry so steady-state dispatches never hit the allocator.
+func (m *Machine) newCohort() *cohort {
+	if n := len(m.cohortPool); n > 0 {
+		c := m.cohortPool[n-1]
+		m.cohortPool[n-1] = nil
+		m.cohortPool = m.cohortPool[:n-1]
+		return c
+	}
+	if len(m.cohortSlab) == 0 {
+		m.cohortSlab = make([]cohort, 64)
+	}
+	c := &m.cohortSlab[0]
+	m.cohortSlab = m.cohortSlab[1:]
+	return c
+}
+
+// retireRun recycles a dispatch attempt that completed cleanly (stepDone).
+// Such a run provably has no timer or in-flight event referencing it: retry
+// timers are armed only when a message was lost, and a lost message always
+// retires its attempt through the timeout path instead. Fault-retired runs
+// are left to the GC.
+func (m *Machine) retireRun(run *stepRun) {
+	for i, c := range run.cohorts {
+		run.cohorts[i] = nil
+		*c = cohort{}
+		m.cohortPool = append(m.cohortPool, c)
+	}
+	*run = stepRun{cohorts: run.cohorts[:0]}
+	m.runPool = append(m.runPool, run)
 }
 
 // SetObserver installs an execution observer (history recorder etc.).
@@ -258,6 +352,10 @@ func (m *Machine) Run() metrics.Summary {
 		m.scheduleNextArrival()
 	}
 	m.ob.StartSampling(m.eng)
+	if m.shardedRun {
+		defer m.stopPool()
+		m.runWaves(m.cfg.Duration)
+	}
 	m.eng.RunUntil(m.cfg.Duration)
 	// Fast-forward nodes may still hold an epoch tail whose quantum events
 	// the stepped engine would have fired at (or before) the horizon; replay
@@ -281,6 +379,21 @@ func (m *Machine) RunClosed(horizon sim.Time) metrics.Summary {
 		m.inj.Start()
 	}
 	m.ob.StartSampling(m.eng)
+	if m.shardedRun {
+		defer m.stopPool()
+		// Wave members are DPN completions and never change InFlight, so
+		// testing it between waves tests it between every event.
+		for m.InFlight() > 0 {
+			m.waveBuf = m.eng.CollectWave(m.waveBuf, horizon)
+			if len(m.waveBuf) > 0 {
+				m.dispatchWave(m.waveBuf)
+				continue
+			}
+			if !m.eng.Step(horizon) {
+				break
+			}
+		}
+	}
 	for m.InFlight() > 0 && m.eng.Step(horizon) {
 	}
 	now := m.eng.Now()
@@ -298,7 +411,7 @@ func (m *Machine) scheduleNextArrival() {
 
 func (m *Machine) arrive(t *model.Txn) {
 	m.met.Arrival(m.eng.Now())
-	e := &exec{txn: t}
+	e := m.newExec(t)
 	if m.ob.Enabled() {
 		e.txnSpan = m.ob.Begin("txn", "txn", t.ID, -1, -1, 0, m.eng.Now())
 	}
@@ -516,7 +629,7 @@ func (m *Machine) dispatchStep(e *exec, attempt int) {
 func (m *Machine) placeStep(e *exec, attempt int) {
 	st := e.txn.CurrentStep()
 	e.phase = phRunning
-	run := &stepRun{e: e, home: m.place.Home(st.File), attempt: attempt}
+	run := m.newStepRun(e, m.place.Home(st.File), attempt)
 	e.run = run
 	if m.inj != nil && m.inj.MsgLost() {
 		// The CN->DPN request vanished; the retry timer is the only way
@@ -526,7 +639,7 @@ func (m *Machine) placeStep(e *exec, attempt int) {
 		m.armTimeout(run)
 		return
 	}
-	nodes := m.place.Nodes(st.File)
+	m.nodesBuf = m.place.NodesInto(st.File, m.nodesBuf)
 	service := sim.Time(float64(m.cfg.ObjTime) * st.Cost / float64(m.cfg.DD))
 	quantum := m.cfg.ObjTime / sim.Time(m.cfg.DD)
 	if m.cfg.RunToCompletion {
@@ -537,9 +650,10 @@ func (m *Machine) placeStep(e *exec, attempt int) {
 			quantum = 1
 		}
 	}
-	run.pending = len(nodes)
-	for _, n := range nodes {
-		c := &cohort{remaining: service, quantum: quantum, run: run, node: m.dpns[n]}
+	run.pending = len(m.nodesBuf)
+	for _, n := range m.nodesBuf {
+		c := m.newCohort()
+		*c = cohort{remaining: service, quantum: quantum, run: run, node: m.dpns[n]}
 		run.cohorts = append(run.cohorts, c)
 		m.eng.SchedulePayload(m.msgDelay(), m.onDeliver, c)
 	}
@@ -601,6 +715,7 @@ func (m *Machine) stepDone(run *stepRun) {
 	}
 	e := run.e
 	e.run = nil
+	m.retireRun(run)
 	if e.stepSpan != 0 {
 		m.ob.End(e.stepSpan, m.eng.Now())
 		e.stepSpan = 0
@@ -658,6 +773,9 @@ func (m *Machine) commitFinish(e *exec) {
 		m.obs.Committed(e.txn, now)
 	}
 	m.wakeCommit(e.txn)
+	// The exec is fully retired (no queue, timer or event references a
+	// committed transaction's wrapper) — recycle it for a future arrival.
+	m.execPool = append(m.execPool, e)
 }
 
 // restartAfterDelay re-admits an aborted transaction, after the configured
@@ -688,18 +806,24 @@ func (m *Machine) wakeCommit(t *model.Txn) {
 		if len(list) == 0 {
 			continue
 		}
-		delete(m.blocked, f)
-		for _, e := range list {
+		// Keep the entry's backing array: re-blocks on this file reuse it
+		// (requestLock only queues a CN job, so nothing re-blocks while the
+		// old list is being walked).
+		m.blocked[f] = list[:0]
+		for i, e := range list {
+			list[i] = nil
 			m.requestLock(e)
 		}
 	}
 	m.wakeDelayed()
 	if len(m.admitQ) > 0 {
 		q := m.admitQ
-		m.admitQ = nil
-		for _, e := range q {
+		m.admitQ = m.admitSpare[:0]
+		for i, e := range q {
+			q[i] = nil
 			m.tryAdmit(e)
 		}
+		m.admitSpare = q[:0]
 	}
 }
 
@@ -709,10 +833,12 @@ func (m *Machine) wakeDelayed() {
 		return
 	}
 	q := m.delayed
-	m.delayed = nil
-	for _, e := range q {
+	m.delayed = m.delayedSpare[:0]
+	for i, e := range q {
+		q[i] = nil
 		m.requestLock(e)
 	}
+	m.delayedSpare = q[:0]
 }
 
 // InFlight reports how many submitted transactions have not yet committed
@@ -726,6 +852,9 @@ func (m *Machine) InFlight() int {
 func (m *Machine) DebugDump() {
 	fmt.Printf("debug: admitQ=%d delayed=%d active=%d\n", len(m.admitQ), len(m.delayed), m.active)
 	for f, list := range m.blocked {
+		if len(list) == 0 {
+			continue
+		}
 		ids := make([]int64, len(list))
 		for i, e := range list {
 			ids[i] = e.txn.ID

@@ -1,0 +1,209 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"batchsched/internal/sim"
+)
+
+// Sharded-calendar PDES (Config.ParallelRun; DESIGN.md §13). Each DPN's
+// coalesced completion event lives on its own single-slot sub-calendar, and
+// the run loop repeatedly asks the engine for a "safe wave": the maximal run
+// of completion events at one instant t* that all sort strictly before the
+// next control-node event. Wave members are independent by construction —
+// every perturbation of a DPN (delivery, crash, straggler toggle, dead mark)
+// arrives through a CN-side calendar event, and none sorts before the wave —
+// so their expensive part, the lazy ring replay up to t*, can run on worker
+// goroutines. The machine-shared part (completion callbacks, RNG draws for
+// message delays, calendar bookings) is then committed sequentially in exact
+// member order, which keeps traces byte-identical to the merged-calendar
+// engine.
+//
+// Exactness of tie-key stamps across the two phases: sequential dispatch
+// increments Executed() before running a member's handler, so member k of a
+// wave collected at Executed()==base observes base+k+1. The coordinator
+// assigns exactly that value to d.waveIdx before the prepare phase, and
+// stamp() reads it while inWave — so a stamp taken concurrently equals the
+// stamp sequential dispatch would have taken, and the wave's member order is
+// known up front because it is the calendar order of already-booked events.
+
+// stamp is the dispatch-order stamp recorded in tie-key genealogy: the
+// number of events dispatched up to and including the one logically running.
+func (d *dpn) stamp() uint64 {
+	if d.inWave {
+		return d.waveIdx
+	}
+	return d.eng.Executed()
+}
+
+// wavePrepare is one member's concurrent phase: replay the epoch's interior
+// boundaries, apply the completion boundary (its callback deferred into
+// waveDone), and precompute the next completion booking. It touches only the
+// node's own state and its per-node metrics cell, so distinct members run
+// race-free in parallel.
+func (d *dpn) wavePrepare(t sim.Time) {
+	d.advanceTo(t)
+	if !d.busy || d.svcEnd != t {
+		// (unreachable when the reschedule discipline is intact)
+		panic(fmt.Sprintf("machine: dpn %d wave member at %v found no boundary (busy=%v svcEnd=%v)",
+			d.id, t, d.busy, d.svcEnd))
+	}
+	d.applyBoundary()
+	d.pAt, d.pPrio, d.pTie, d.pOK = d.computeBooking()
+	d.wavePrepared = true
+}
+
+// waveCommit is the member's sequential phase, run from ringChange in exact
+// member order: the deferred completion callback (which may draw from the
+// message-delay RNG and book CN-side events), then the precomputed next
+// completion booking — the same order the merged-calendar handler produces
+// them in, so booking sequence numbers and RNG draws line up exactly.
+func (d *dpn) waveCommit() {
+	d.wavePrepared = false
+	for i, c := range d.waveDone {
+		d.waveDone[i] = nil
+		if c.done != nil {
+			c.done()
+		} else if d.complete != nil {
+			d.complete(c)
+		}
+	}
+	d.waveDone = d.waveDone[:0]
+	if d.pOK {
+		d.ffAt, d.ffPrio, d.ffTie = d.pAt, d.pPrio, d.pTie
+		d.ffEvent = d.bookCompletion(d.pAt, d.pPrio, d.pTie)
+	}
+	d.inWave = false
+}
+
+// runWaves drives the sharded engine to the horizon: dispatch safe waves
+// while they exist, fall back to single-step dispatch (the next event is a
+// CN-side one) otherwise. Equivalent to Engine.Run on the merged calendar.
+func (m *Machine) runWaves(horizon sim.Time) {
+	for {
+		m.waveBuf = m.eng.CollectWave(m.waveBuf, horizon)
+		if len(m.waveBuf) > 0 {
+			m.dispatchWave(m.waveBuf)
+			continue
+		}
+		if !m.eng.Step(horizon) {
+			return
+		}
+	}
+}
+
+// dispatchWave fires one collected wave. Multi-member waves get their ring
+// replays prepared on the worker pool first (unless observability is on —
+// span recording inside the replay is not reentrant); the members themselves
+// always commit sequentially in calendar order.
+func (m *Machine) dispatchWave(wave []*sim.Event) {
+	m.waves++
+	m.waveMembers += uint64(len(wave))
+	if len(wave) > 1 && m.waveWorkers > 1 && !m.ob.Enabled() {
+		m.prepareWave(wave)
+	}
+	for _, ev := range wave {
+		m.eng.DispatchWaveMember(ev)
+	}
+}
+
+// prepareWave assigns each member its dispatch index and runs the prepare
+// phase on the worker pool (started lazily on the first such wave).
+func (m *Machine) prepareWave(wave []*sim.Event) {
+	base := m.eng.Executed()
+	for i, ev := range wave {
+		d := m.dpns[ev.Shard()]
+		d.inWave = true
+		d.waveIdx = base + uint64(i) + 1
+	}
+	if m.pool == nil {
+		m.pool = newWavePool(m, m.waveWorkers)
+	}
+	m.pool.run(wave, wave[0].Time())
+}
+
+// stopPool shuts the wave workers down (Run/RunClosed call it on exit so a
+// run leaves no goroutines behind).
+func (m *Machine) stopPool() {
+	if m.pool != nil {
+		m.pool.stop()
+		m.pool = nil
+	}
+}
+
+// WaveStats reports how many safe waves the sharded engine has dispatched
+// and their total member count (members/waves is the mean parallelism the
+// lookahead exposed; 0/0 on the merged-calendar path).
+func (m *Machine) WaveStats() (waves, members uint64) { return m.waves, m.waveMembers }
+
+// ShardUtilization appends each node's busy-window fraction of the virtual
+// time elapsed so far to buf and returns it. Starved shards (lookahead never
+// lets them run) show up as low fractions in -progress output.
+func (m *Machine) ShardUtilization(buf []float64) []float64 {
+	buf = buf[:0]
+	now := m.eng.Now()
+	for i, d := range m.dpns {
+		d.sync() // replay fast-forwarded boundaries into the collector
+		u := 0.0
+		if now > 0 {
+			u = float64(m.met.DPNBusyTime(i)) / float64(now)
+		}
+		buf = append(buf, u)
+	}
+	return buf
+}
+
+// wavePool is the persistent worker pool of the prepare phase. Members are
+// claimed with an atomic cursor; the kick channel publishes the wave to the
+// workers (happens-before for the coordinator's writes) and the WaitGroup
+// publishes the workers' node mutations back to the coordinator.
+type wavePool struct {
+	m    *Machine
+	n    int
+	kick chan struct{}
+	wg   sync.WaitGroup
+	wave []*sim.Event
+	t    sim.Time
+	next atomic.Int64
+}
+
+func newWavePool(m *Machine, n int) *wavePool {
+	p := &wavePool{m: m, n: n, kick: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *wavePool) worker() {
+	for range p.kick {
+		for {
+			i := int(p.next.Add(1)) - 1
+			if i >= len(p.wave) {
+				break
+			}
+			p.m.dpns[p.wave[i].Shard()].wavePrepare(p.t)
+		}
+		p.wg.Done()
+	}
+}
+
+// run prepares one wave and returns when every member is done.
+func (p *wavePool) run(wave []*sim.Event, t sim.Time) {
+	p.wave, p.t = wave, t
+	p.next.Store(0)
+	n := p.n
+	if n > len(wave) {
+		n = len(wave)
+	}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.kick <- struct{}{}
+	}
+	p.wg.Wait()
+	p.wave = nil
+}
+
+func (p *wavePool) stop() { close(p.kick) }

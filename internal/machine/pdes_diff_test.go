@@ -1,0 +1,331 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"batchsched/internal/fault"
+	"batchsched/internal/metrics"
+	"batchsched/internal/obs"
+	"batchsched/internal/sched"
+	"batchsched/internal/sim"
+	"batchsched/internal/trace"
+	"batchsched/internal/workload"
+)
+
+// The sharded-calendar PDES engine (Config.ParallelRun; parallel.go,
+// DESIGN.md §13) must be observationally identical to the merged-calendar
+// engine: same dispatch order, same traces, same summaries — whether waves
+// are prepared inline (ParallelRun=1) or on worker goroutines (>1). These
+// tests mirror the ffdiff suite one layer up: the oracle here is the
+// merged-calendar fast-forward engine that ffdiff already proved equal to
+// the quantum-stepped one.
+
+// pdesDiffFaults is the full fault cocktail (crashes, stragglers, message
+// loss with timeout-and-retry) used across the differential grid.
+var pdesDiffFaults = fault.Config{
+	MTBF: 80 * sim.Second, MTTR: 5 * sim.Second,
+	StragglerMTBF: 150 * sim.Second, StragglerDuration: 10 * sim.Second, StragglerFactor: 3,
+	MsgLoss: 0.03, MsgTimeout: 5 * sim.Second, MsgRetries: 2,
+}
+
+// pdesDiffSchedule is ffDiffSchedule's node-level driver run against the
+// sharded calendar: the dpn books its completions on a sub-calendar and the
+// engine is driven through the CollectWave/DispatchWaveMember loop, so the
+// merge order of shard events against main-calendar arrivals, crashes,
+// straggler toggles, death marks and probes is exercised directly.
+func pdesDiffSchedule(t *testing.T, seed int64, sharded bool) []string {
+	t.Helper()
+	g := sim.NewRNG(seed)
+	eng := sim.NewEngine()
+	met := metrics.NewCollector(1, 0)
+	d := newDPN(0, eng, met)
+	if sharded {
+		eng.SetShards(1)
+		d.sharded = true
+	}
+	var log []string
+
+	type arrival struct {
+		c     *cohort
+		added bool
+		done  bool
+	}
+	n := 5 + g.Intn(20)
+	globalQ := sim.Time(1+g.Intn(1500)) * sim.Millisecond
+	uniform := g.Intn(2) == 0
+	for i := 0; i < n; i++ {
+		i := i
+		at := sim.Time(g.Intn(30_000)) * sim.Millisecond
+		rem := sim.Time(g.Intn(5000)) * sim.Millisecond
+		if g.Intn(10) == 0 {
+			rem = 0
+		}
+		q := globalQ
+		if !uniform {
+			q = sim.Time(1+g.Intn(1500)) * sim.Millisecond
+		}
+		a := &arrival{c: &cohort{remaining: rem, quantum: q}}
+		a.c.done = func() {
+			a.done = true
+			log = append(log, fmt.Sprintf("done %d@%v", i, eng.Now()))
+		}
+		eng.ScheduleAt(at, func(now sim.Time) {
+			if d.down {
+				return
+			}
+			a.added = true
+			d.add(a.c)
+		})
+		if g.Intn(5) == 0 {
+			dieAt := at + sim.Time(g.Intn(3000))*sim.Millisecond
+			eng.ScheduleAt(dieAt, func(now sim.Time) {
+				if a.done || !a.added {
+					return
+				}
+				d.sync()
+				a.c.dead = true
+				d.deadMarked()
+			})
+		}
+	}
+	for i := 0; i < 2; i++ {
+		crashAt := sim.Time(g.Intn(30_000)) * sim.Millisecond
+		backAt := crashAt + sim.Time(2000+g.Intn(3000))*sim.Millisecond
+		eng.ScheduleAt(crashAt, func(now sim.Time) {
+			if d.down {
+				return
+			}
+			killed := d.crash()
+			log = append(log, fmt.Sprintf("crash@%v killed=%d", now, len(killed)))
+		})
+		eng.ScheduleAt(backAt, func(now sim.Time) { d.restore() })
+	}
+	for i := 0; i < 2; i++ {
+		onAt := sim.Time(g.Intn(30_000)) * sim.Millisecond
+		offAt := onAt + sim.Time(1000+g.Intn(4000))*sim.Millisecond
+		eng.ScheduleAt(onAt, func(now sim.Time) { d.setSlow(1.5) })
+		eng.ScheduleAt(offAt, func(now sim.Time) { d.setSlow(1) })
+	}
+	for i := 0; i < 10; i++ {
+		at := sim.Time(g.Intn(40_000)) * sim.Millisecond
+		eng.ScheduleAt(at, func(now sim.Time) {
+			log = append(log, fmt.Sprintf("q=%d@%v", d.queueLen(), now))
+		})
+	}
+	horizon := sim.Time(1 << 50)
+	if sharded {
+		var buf []*sim.Event
+		for {
+			buf = eng.CollectWave(buf, horizon)
+			if len(buf) > 0 {
+				for _, ev := range buf {
+					eng.DispatchWaveMember(ev)
+				}
+				continue
+			}
+			if !eng.Step(horizon) {
+				break
+			}
+		}
+	} else {
+		eng.Run(horizon)
+	}
+	d.flush(horizon)
+	log = append(log, fmt.Sprintf("busy=%v executed=%d", met.DPNBusyTime(0), eng.Executed()))
+	return log
+}
+
+// TestPDESDiffRandomSchedules is the 500-seed node-level differential:
+// randomized schedules must produce identical logs, busy totals and
+// dispatch counts on the merged and the sharded calendar.
+func TestPDESDiffRandomSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 500; seed++ {
+		merged := pdesDiffSchedule(t, seed, false)
+		sharded := pdesDiffSchedule(t, seed, true)
+		if len(merged) != len(sharded) {
+			t.Fatalf("seed %d: %d vs %d log entries\nmerged: %v\nsharded: %v",
+				seed, len(merged), len(sharded), merged, sharded)
+		}
+		for i := range merged {
+			if merged[i] != sharded[i] {
+				t.Fatalf("seed %d entry %d: merged %q sharded %q\nmerged: %v\nsharded: %v",
+					seed, i, merged[i], sharded[i], merged, sharded)
+			}
+		}
+	}
+}
+
+// pdesDiffRun runs one full machine and returns its summary plus serialized
+// trace. parallel is Config.ParallelRun (0 = merged-calendar oracle).
+func pdesDiffRun(t *testing.T, name string, cfg Config, parallel int, seed int64, wl Generator) (metrics.Summary, []byte) {
+	t.Helper()
+	cfg.ParallelRun = parallel
+	if wl == nil {
+		wl = workload.NewExp1(16)
+	}
+	m, err := New(cfg, sched.MustNew(name, sched.DefaultParams()), wl, sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m.SetObserver(trace.NewWriter(&buf))
+	sum := m.Run()
+	return sum, buf.Bytes()
+}
+
+// TestPDESDiffSummaries compares end-of-run summaries across schedulers, a
+// DD ladder and the fault cocktail for sharded-inline (1) and
+// sharded-parallel (4 workers) against the merged-calendar engine.
+func TestPDESDiffSummaries(t *testing.T) {
+	for _, name := range []string{"NODC", "ASL", "GOW", "LOW", "C2PL", "OPT"} {
+		for _, dd := range []int{1, 4, 16} {
+			for _, withFaults := range []bool{false, true} {
+				cfg := DefaultConfig()
+				cfg.NumNodes = 16
+				cfg.DD = dd
+				cfg.ArrivalRate = 0.6
+				cfg.Duration = 200_000 * sim.Millisecond
+				if withFaults {
+					cfg.Faults = pdesDiffFaults
+				}
+				base, _ := pdesDiffRun(t, name, cfg, 0, 7, nil)
+				for _, par := range []int{1, 4} {
+					got, _ := pdesDiffRun(t, name, cfg, par, 7, nil)
+					if !reflect.DeepEqual(base, got) {
+						t.Errorf("%s DD=%d faults=%v parallel=%d diverged:\nmerged:  %+v\nsharded: %+v",
+							name, dd, withFaults, par, base, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPDESDiffTraces compares full serialized event traces — an ordering
+// difference that happens not to move the summary still fails. The batch-scan
+// config at full declustering is the wave-heavy case: all DD sibling cohorts
+// complete in lockstep, so waves reach NumNodes members.
+func TestPDESDiffTraces(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		dd     int
+		faults bool
+		scan   bool
+	}{
+		{"NODC", 1, false, false}, {"GOW", 4, false, false},
+		{"LOW", 16, false, false}, {"GOW", 4, true, false},
+		{"OPT", 16, true, false}, {"GOW", 16, false, true},
+		{"C2PL", 16, true, true},
+	} {
+		cfg := DefaultConfig()
+		cfg.NumNodes = 16
+		cfg.DD = tc.dd
+		cfg.ArrivalRate = 0.6
+		cfg.Duration = 200_000 * sim.Millisecond
+		var wl Generator
+		if tc.scan {
+			cfg.ArrivalRate = 0.15
+			wl = workload.NewBatchScan(16, 32)
+		}
+		if tc.faults {
+			cfg.Faults = pdesDiffFaults
+		}
+		_, base := pdesDiffRun(t, tc.name, cfg, 0, 11, wl)
+		for _, par := range []int{1, 4} {
+			_, got := pdesDiffRun(t, tc.name, cfg, par, 11, wl)
+			if !bytes.Equal(base, got) {
+				t.Errorf("%s DD=%d faults=%v scan=%v parallel=%d: traces differ (%d vs %d bytes)",
+					tc.name, tc.dd, tc.faults, tc.scan, par, len(base), len(got))
+			}
+		}
+	}
+}
+
+// TestPDESWavesEngage asserts the wave machinery actually runs multi-member
+// waves on the batch-scan config — a scheduling regression that silently
+// degraded every wave to a single member would otherwise pass the
+// differential suite without testing parallel dispatch at all.
+func TestPDESWavesEngage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumNodes = 16
+	cfg.DD = 16
+	cfg.ArrivalRate = 0.15
+	cfg.Duration = 200_000 * sim.Millisecond
+	cfg.ParallelRun = 4
+	m, err := New(cfg, sched.MustNew("GOW", sched.DefaultParams()), workload.NewBatchScan(16, 32), sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	waves, members := m.WaveStats()
+	if waves == 0 {
+		t.Fatal("no waves dispatched on the sharded engine")
+	}
+	if members <= waves {
+		t.Fatalf("no multi-member waves: %d waves, %d members", waves, members)
+	}
+	util := m.ShardUtilization(nil)
+	if len(util) != cfg.NumNodes {
+		t.Fatalf("ShardUtilization returned %d entries, want %d", len(util), cfg.NumNodes)
+	}
+	busy := 0
+	for _, u := range util {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization out of range: %v", util)
+		}
+		if u > 0 {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("every shard idle for the whole run")
+	}
+}
+
+// TestPDESObsForcesInline: with the observability layer attached, waves must
+// be prepared inline (span recording is not reentrant) and the observed
+// summary must still match the unobserved merged-calendar run.
+func TestPDESObsForcesInline(t *testing.T) {
+	run := func(parallel int) metrics.Summary {
+		cfg := DefaultConfig()
+		cfg.NumNodes = 16
+		cfg.DD = 16
+		cfg.ArrivalRate = 0.15
+		cfg.Duration = 100_000 * sim.Millisecond
+		cfg.ParallelRun = parallel
+		m, err := New(cfg, sched.MustNew("GOW", sched.DefaultParams()), workload.NewBatchScan(16, 32), sim.NewRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel > 0 {
+			m.SetObs(obs.New())
+		}
+		return m.Run()
+	}
+	base := run(0)
+	obs := run(4)
+	if !reflect.DeepEqual(base, obs) {
+		t.Errorf("observed sharded run diverged:\nmerged:   %+v\nobserved: %+v", base, obs)
+	}
+}
+
+// TestParallelRunValidate pins the configuration gates.
+func TestParallelRunValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ParallelRun = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative ParallelRun accepted")
+	}
+	cfg.ParallelRun = 2
+	cfg.QuantumStepped = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("ParallelRun with QuantumStepped accepted")
+	}
+	cfg.QuantumStepped = false
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid ParallelRun rejected: %v", err)
+	}
+}

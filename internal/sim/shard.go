@@ -1,0 +1,160 @@
+package sim
+
+import "fmt"
+
+// Sharded calendar: SetShards gives the engine n single-slot sub-calendars,
+// one per model component that maintains at most one pending self-event at a
+// time (a DPN's coalesced next-completion, in this repo). Shard bookings live
+// outside the main heap in a small heap of occupied slots ordered by the same
+// (time, prio, tie, seq) total order, which buys two things:
+//
+//   - Rebooking is O(log S) in the shard count S instead of O(log N) in the
+//     whole calendar, with no tombstones: a canceled shard event is unlinked
+//     in place (removeAt) rather than lazily popped later, so the heavy
+//     cancel-and-rebook traffic of the fast-forward DPN engine stops paying
+//     for heap churn against unrelated CN events.
+//   - CollectWave can read off a "safe wave" — the maximal run of shard-head
+//     events at one instant that all sort strictly before the main-calendar
+//     head — in sorted order, which is the unit of parallelism for the
+//     conservative PDES loop in internal/machine (see DESIGN.md §13).
+//
+// Dispatch order is provably identical to a single merged calendar: Step and
+// CollectWave compare shard heads against the main head with the exact
+// eventLess comparator used inside each heap, and keys are unique (seq is),
+// so the merge of the two heaps is the same total order the single heap
+// would have popped.
+
+// SetShards arranges n single-slot sub-calendars (shards 0..n-1). It must be
+// called before any ScheduleShard* booking and may be called once per engine;
+// calling it while shard bookings exist panics.
+func (e *Engine) SetShards(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: negative shard count %d", n))
+	}
+	if e.shardCal.Len() > 0 {
+		panic("sim: SetShards with shard bookings pending")
+	}
+	e.shardEv = make([]*Event, n)
+	e.shardCal.items = make([]*Event, 0, n)
+}
+
+// Shards returns the number of sub-calendars configured with SetShards.
+func (e *Engine) Shards() int { return len(e.shardEv) }
+
+// ScheduleShardTie books fn at absolute time at (>= Now) on the given shard's
+// slot, with the same explicit tie position as ScheduleAtTie. The slot must
+// be empty: a shard holds at most one pending event, and the previous booking
+// must be canceled (or have fired) first.
+func (e *Engine) ScheduleShardTie(shard int, at, prio Time, tie TieKey, fn Handler) *Event {
+	return e.scheduleShard(shard, at, prio, tie, true, fn)
+}
+
+// ScheduleShardPrio is ScheduleShardTie without a genealogy key.
+func (e *Engine) ScheduleShardPrio(shard int, at, prio Time, fn Handler) *Event {
+	return e.scheduleShard(shard, at, prio, TieKey{}, false, fn)
+}
+
+func (e *Engine) scheduleShard(shard int, at, prio Time, tie TieKey, hasTie bool, fn Handler) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if prio > at {
+		panic(fmt.Sprintf("sim: priority %v after event time %v", prio, at))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	if e.shardEv[shard] != nil {
+		panic(fmt.Sprintf("sim: shard %d already booked", shard))
+	}
+	// As in ScheduleAtTie, the tie key must be in place before the push so
+	// the heap sifts with the final comparator key.
+	ev := e.alloc(at, prio, "", fn)
+	ev.tie = tie
+	ev.hasTie = hasTie
+	ev.shard = shard
+	e.shardEv[shard] = ev
+	e.shardCal.push(ev)
+	return ev
+}
+
+// cancelShard unlinks a canceled shard booking immediately (no tombstone):
+// the slot must be free for the shard's next booking.
+func (e *Engine) cancelShard(ev *Event) {
+	e.shardCal.removeAt(ev.index)
+	e.shardEv[ev.shard] = nil
+	e.recycle(ev)
+}
+
+// peekLive returns the next live main-calendar event, discarding any
+// tombstones that have surfaced, or nil when the main calendar is empty.
+func (e *Engine) peekLive() *Event {
+	for e.calendar.Len() > 0 {
+		next := e.calendar.peek()
+		if !next.canceled {
+			return next
+		}
+		e.calendar.pop()
+		e.dead--
+		e.recycle(next)
+	}
+	return nil
+}
+
+// CollectWave pops and returns the current safe wave: the maximal run of
+// shard events sharing the earliest shard timestamp t* (<= horizon) that all
+// sort strictly before the next main-calendar event. Members are returned in
+// exact dispatch order and have been removed from their slots — the caller
+// must route every one of them through DispatchWaveMember, in order, before
+// touching the engine again. Returns buf[:0]'s backing slice grown as needed;
+// nil members never occur. An empty result means the next event (if any) is
+// not a shard event, or lies beyond the horizon.
+//
+// Restricting the wave to one instant keeps Executed() stamps assignable up
+// front: member k of a wave collected at Executed()==base will observe
+// Executed()==base+k+1 inside its handler, exactly as under sequential
+// dispatch, because no other event can interleave.
+func (e *Engine) CollectWave(buf []*Event, horizon Time) []*Event {
+	buf = buf[:0]
+	if e.shardCal.Len() == 0 {
+		return buf
+	}
+	main := e.peekLive()
+	head := e.shardCal.peek()
+	if head.at > horizon || (main != nil && !eventLess(head, main)) {
+		return buf
+	}
+	tstar := head.at
+	for e.shardCal.Len() > 0 {
+		h := e.shardCal.peek()
+		if h.at != tstar || (main != nil && !eventLess(h, main)) {
+			break
+		}
+		e.shardCal.pop()
+		e.shardEv[h.shard] = nil
+		buf = append(buf, h)
+	}
+	return buf
+}
+
+// DispatchWaveMember fires one wave member exactly as Step would have:
+// advances the clock and tie priority, counts the dispatch, runs the handler,
+// and recycles the event. Members of one wave must be dispatched in the order
+// CollectWave returned them.
+func (e *Engine) DispatchWaveMember(ev *Event) {
+	if ev.canceled {
+		e.recycle(ev)
+		return
+	}
+	e.now = ev.at
+	e.curPrio = ev.prio
+	e.executed++
+	if ev.pfn != nil {
+		pfn, arg := ev.pfn, ev.arg
+		pfn(e.now, arg)
+	} else {
+		fn := ev.fn
+		fn(e.now)
+	}
+	e.recycle(ev)
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"testing"
+)
+
+// shardScriptBooking is one pre-generated booking of the cross-shard
+// property test: a calendar key plus an optional immediate cancel-and-rebook
+// (which exercises the shard heap's in-place unlink against the main
+// calendar's tombstones).
+type shardScriptBooking struct {
+	at, prio Time
+	tie      TieKey
+	hasTie   bool
+	rebook   bool
+	alt      *shardScriptBooking
+}
+
+// genShardScript generates per-shard booking chains over shared "buckets":
+// instants where several shards collide with equal (at, prio) and tie keys
+// that differ only in genealogy. Keys follow the machine's invariants — one
+// quantum per bucket, anchors that are strictly short slices (Pre > Anchor-Q),
+// globally unique stamps — under which tieLess is a total order, so the
+// merged and sharded calendars must agree exactly.
+func genShardScript(g *RNG, shards, perShard int) [][]shardScriptBooking {
+	type bucket struct {
+		at, prio, q Time
+	}
+	nBuckets := perShard*3 + 8
+	buckets := make([]bucket, nBuckets)
+	at := Time(10)
+	for b := range buckets {
+		// Buckets advance by more than the largest priority offset, so a
+		// successor booked at one bucket's instant always lies at a later
+		// instant with a later priority — the discipline the DPN model
+		// obeys and the safe-wave loop's collection contract relies on.
+		// Same-instant collisions come from shards sharing a bucket.
+		at += Time(4 + g.Intn(4))
+		q := Time(2 + g.Intn(3))
+		buckets[b] = bucket{at: at, prio: at - Time(1+g.Intn(3)), q: q}
+	}
+	var stamp uint64
+	member := func(b bucket) shardScriptBooking {
+		m := shardScriptBooking{at: b.at}
+		if g.Intn(8) == 0 {
+			// An untied booking: keep its prio clear of the bucket's tie
+			// events (mixing tied and untied events at one (at, prio) has
+			// no model counterpart and no defined cross-calendar order).
+			p := b.prio - Time(4+g.Intn(3))
+			if p < 0 {
+				p = 0
+			}
+			m.prio = p
+			return m
+		}
+		m.prio = b.prio
+		m.hasTie = true
+		k := Time(g.Intn(3))
+		anchor := b.prio - k*b.q
+		// Short-slice anchor: Anchor-Q < Pre < Anchor, as in real chains.
+		pre := anchor - b.q + 1 + Time(g.Intn(int(b.q)-1))
+		stamp++
+		m.tie = TieKey{Q: b.q, Anchor: anchor, Pre: pre, Stamp: stamp}
+		return m
+	}
+	script := make([][]shardScriptBooking, shards)
+	for s := range script {
+		script[s] = make([]shardScriptBooking, perShard)
+		b := g.Intn(3)
+		for k := 0; k < perShard; k++ {
+			m := member(buckets[b])
+			if g.Intn(6) == 0 {
+				alt := member(buckets[b])
+				m.rebook = true
+				m.alt = &alt
+			}
+			script[s][k] = m
+			b += 1 + g.Intn(2)
+		}
+	}
+	return script
+}
+
+// playShardScript books every shard's chain (each handler booking its
+// successor, as the DPN model does) and returns the exact dispatch order as
+// (shard, index) codes. mode 0 = merged calendar, 1 = sharded via Engine.Step,
+// 2 = sharded via the CollectWave/DispatchWaveMember loop.
+func playShardScript(script [][]shardScriptBooking, mode int) []int {
+	e := NewEngine()
+	shards := len(script)
+	if mode != 0 {
+		e.SetShards(shards)
+	}
+	var order []int
+	// Initial bookings, shard order (same booking seq in every mode).
+	for s := 0; s < shards; s++ {
+		bookScript(e, s, &script[s][0], scriptHandler(e, script, s, 0, mode, &order), mode)
+	}
+	horizon := Time(1) << 50
+	if mode == 2 {
+		var buf []*Event
+		for {
+			buf = e.CollectWave(buf, horizon)
+			if len(buf) > 0 {
+				for _, ev := range buf {
+					e.DispatchWaveMember(ev)
+				}
+				continue
+			}
+			if !e.Step(horizon) {
+				break
+			}
+		}
+	} else {
+		e.Run(horizon)
+	}
+	return order
+}
+
+// scriptHandler returns the handler for script[s][k]: record the dispatch,
+// book the successor (cancel-and-rebook when the script says so).
+func scriptHandler(e *Engine, script [][]shardScriptBooking, s, k, mode int, order *[]int) Handler {
+	perShard := len(script[0])
+	return func(Time) {
+		*order = append(*order, s*perShard+k)
+		if k+1 >= perShard {
+			return
+		}
+		next := &script[s][k+1]
+		ev := bookScript(e, s, next, scriptHandler(e, script, s, k+1, mode, order), mode)
+		if next.rebook {
+			ev.Cancel()
+			bookScript(e, s, next.alt, scriptHandler(e, script, s, k+1, mode, order), mode)
+		}
+	}
+}
+
+func bookScript(e *Engine, s int, m *shardScriptBooking, fn Handler, mode int) *Event {
+	if mode != 0 {
+		if m.hasTie {
+			return e.ScheduleShardTie(s, m.at, m.prio, m.tie, fn)
+		}
+		return e.ScheduleShardPrio(s, m.at, m.prio, fn)
+	}
+	if m.hasTie {
+		return e.ScheduleAtTie(m.at, m.prio, m.tie, fn)
+	}
+	return e.ScheduleAtPrio(m.at, m.prio, fn)
+}
+
+// TestCrossShardTieOrderMatchesMergedCalendar is the cross-shard comparator
+// property test: randomized same-instant ties (including keys identical up
+// to the dispatch stamp, the case that once regressed when tie keys were
+// patched in after the heap sift) must dispatch in exactly the same order
+// from per-shard slot calendars — through Step and through the safe-wave
+// loop — as from one merged calendar.
+func TestCrossShardTieOrderMatchesMergedCalendar(t *testing.T) {
+	const shards, perShard = 6, 300
+	for trial := 0; trial < 25; trial++ {
+		g := NewRNG(int64(9000 + trial))
+		script := genShardScript(g, shards, perShard)
+		merged := playShardScript(script, 0)
+		if len(merged) == 0 {
+			t.Fatalf("trial %d: merged run dispatched nothing", trial)
+		}
+		for mode := 1; mode <= 2; mode++ {
+			got := playShardScript(script, mode)
+			if len(got) != len(merged) {
+				t.Fatalf("trial %d mode %d: dispatched %d events, merged %d", trial, mode, len(got), len(merged))
+			}
+			for i := range merged {
+				if got[i] != merged[i] {
+					t.Fatalf("trial %d mode %d: dispatch[%d] = shard %d event %d, merged had shard %d event %d",
+						trial, mode, i,
+						got[i]/perShard, got[i]%perShard,
+						merged[i]/perShard, merged[i]%perShard)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineCompactionMidDispatch forces tombstone compaction from inside a
+// running handler — the calendar is rebuilt while the engine is mid-Step —
+// and checks that the surviving dispatch order, the shard slot bookings and
+// Executed() all come through unscathed.
+func TestEngineCompactionMidDispatch(t *testing.T) {
+	e := NewEngine()
+	e.SetShards(1)
+	const n = 400
+	events := make([]*Event, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = e.Schedule(Time(i+10)*Millisecond, func(Time) { fired = append(fired, i) })
+	}
+	// A shard booking beyond the purge: compaction must leave it alone.
+	shardFired := false
+	e.ScheduleShardPrio(0, Time(n+20)*Millisecond, Time(n+20)*Millisecond, func(Time) { shardFired = true })
+	// The first event cancels events 1..n-2 from inside its handler; that
+	// puts ~n-2 tombstones on a calendar of n-1 live-or-dead entries, well
+	// past the dead >= 64 && dead*2 > Len() threshold, so maybeCompact
+	// rebuilds the heap during this very dispatch.
+	pendingBefore := 0
+	e.Schedule(Millisecond, func(Time) {
+		for i := 1; i < n-1; i++ {
+			events[i].Cancel()
+		}
+		pendingBefore = e.Pending()
+	})
+	e.Run(Second)
+	if pendingBefore >= n {
+		t.Fatalf("compaction did not run mid-dispatch: %d pending right after the cancels", pendingBefore)
+	}
+	if want := []int{0, n - 1}; len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if !shardFired {
+		t.Fatal("shard booking lost across mid-dispatch compaction")
+	}
+	// 1 canceler + 2 survivors + 1 shard event.
+	if e.Executed() != 4 {
+		t.Errorf("Executed = %d, want 4", e.Executed())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after run, want 0", e.Pending())
+	}
+}
+
+// TestEngineExecutedUnderHeavyLazyDeletion cancels interleaved events from
+// inside handlers so the calendar is thick with tombstones while it drains,
+// and checks that Executed() stays dense — every handler observes exactly
+// the count of live dispatches so far, with canceled events never counted.
+// Tie-key stamps are derived from Executed(), so a gap here would corrupt
+// genealogy keys silently.
+func TestEngineExecutedUnderHeavyLazyDeletion(t *testing.T) {
+	e := NewEngine()
+	const n = 900
+	events := make([]*Event, n)
+	fired := 0
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = e.Schedule(Time(i+1)*Millisecond, func(Time) {
+			fired++
+			if got := e.Executed(); got != uint64(fired) {
+				t.Fatalf("handler %d: Executed = %d, want %d", i, got, fired)
+			}
+			// Cancel the next two still-pending survivors, so roughly two
+			// thirds of the calendar dies as tombstones mid-drain.
+			for j, killed := i+1, 0; j < n && killed < 2; j++ {
+				if events[j] != nil && !events[j].Canceled() {
+					events[j].Cancel()
+					killed++
+				}
+			}
+		})
+	}
+	e.Run(Second)
+	if fired != (n+2)/3 {
+		t.Fatalf("fired %d of %d, want every third (%d)", fired, n, (n+2)/3)
+	}
+	if e.Executed() != uint64(fired) {
+		t.Errorf("Executed = %d, want %d", e.Executed(), fired)
+	}
+}
+
+// TestShardedSteadyStateAllocFree pins the tentpole's allocation audit at
+// the engine layer: a warmed sharded engine running self-rebooking shard
+// chains, cancel-and-rebook churn, and a recurring payload event on the
+// main calendar must dispatch with zero allocations per event.
+func TestShardedSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	const shards = 4
+	e.SetShards(shards)
+	handlers := make([]Handler, shards)
+	fires := make([]int, shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		handlers[s] = func(now Time) {
+			fires[s]++
+			at := now + Time(s+1)*Millisecond
+			tie := TieKey{Q: Millisecond, Anchor: now, Pre: now - 1, Stamp: e.Executed()}
+			ev := e.ScheduleShardTie(s, at, now, tie, handlers[s])
+			if fires[s]%7 == 0 {
+				// Cancel-and-rebook: the shard heap unlinks in place, the
+				// replacement comes off the event free list.
+				ev.Cancel()
+				e.ScheduleShardTie(s, at+Millisecond, now, tie, handlers[s])
+			}
+		}
+	}
+	var tick func(now Time)
+	ticks := 0
+	tick = func(now Time) {
+		ticks++
+		e.Schedule(5*Millisecond, tick)
+	}
+	for s := 0; s < shards; s++ {
+		e.ScheduleShardPrio(s, Time(s+1)*Millisecond, 0, handlers[s])
+	}
+	e.Schedule(5*Millisecond, tick)
+	// Warm the free lists and heap capacity.
+	horizon := Time(0)
+	step := func() {
+		horizon += 50 * Millisecond
+		for e.Step(horizon) {
+		}
+	}
+	step()
+	if avg := testing.AllocsPerRun(50, step); avg != 0 {
+		t.Fatalf("steady-state allocations: %v per 50ms window, want 0", avg)
+	}
+	if ticks == 0 || fires[0] == 0 {
+		t.Fatal("steady-state loop did not actually run")
+	}
+}
