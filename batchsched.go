@@ -38,6 +38,7 @@ import (
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
 	"batchsched/internal/obs"
+	"batchsched/internal/obs/stream"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 	"batchsched/internal/trace"
@@ -74,6 +75,11 @@ type (
 	// internal/obs): spans, metrics time-series, and the scheduler decision
 	// audit, with Chrome-trace / CSV / HTML exporters.
 	Obs = obs.Observer
+	// StreamSet is the wall-clock streaming instrument registry (see
+	// RunLiveTelemetry and internal/obs/stream): sliding-window rates,
+	// gauges, and quantile sketches rendered as Prometheus text by the
+	// /metrics endpoint (internal/obs/serve).
+	StreamSet = stream.Set
 )
 
 // Lock modes and time units.
@@ -407,6 +413,75 @@ func RunLiveChecked(cfg LiveConfig, scheduler string, params Params, batch [][]S
 		return sum, fmt.Errorf("batchsched: %s produced a non-serializable live history: %w", scheduler, err)
 	}
 	return sum, nil
+}
+
+// NewStreamSet returns an enabled streaming instrument registry, ready for
+// LiveBackend.SetStream and serve-side rendering. A nil *StreamSet is the
+// disabled registry.
+func NewStreamSet() *StreamSet { return stream.NewSet() }
+
+// LiveBackend is the real-execution backend handle. Most callers use
+// RunLiveBatch; telemetry servers build one with NewLiveBackend so they can
+// attach instruments (SetStream, SetObs), read its clock (Now) and take
+// concurrent snapshots (Snapshot) while RunLiveTelemetry drives the batch.
+type LiveBackend = live.Backend
+
+// NewLiveBackend builds an un-run live backend for the named scheduler.
+func NewLiveBackend(cfg LiveConfig, scheduler string, params Params) (*LiveBackend, error) {
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return nil, err
+	}
+	return live.New(cfg, s)
+}
+
+// LiveResult bundles a live run's summary with the run-level telemetry the
+// SLI ledger records: guard violations and observability clock clamps.
+type LiveResult struct {
+	Summary Summary
+	// Violations counts incompatible cohort co-residencies the DPN lock
+	// guards observed (zero for every real scheduler; positive under NODC).
+	Violations int
+	// ClockClamps counts monotone clock-regression clamps in the
+	// observability layer (span ends plus metric samples).
+	ClockClamps int64
+}
+
+// RunLiveTelemetry executes a closed batch on a pre-built backend (see
+// NewLiveBackend), with optional conflict-serializability checking of the
+// real history. scheduler must name the scheduler the backend was built
+// with (it selects the history semantics and the guard-violation policy).
+// Unlike RunLiveBatch it reports guard violations in the result instead of
+// failing on them, so telemetry consumers (the SLI ledger) can record them
+// as a measure.
+func RunLiveTelemetry(b *LiveBackend, scheduler string, batch [][]Step, check bool) (LiveResult, error) {
+	var rec *history.Recorder
+	if check {
+		rec = history.New()
+		if scheduler == "OPT" {
+			rec = history.NewDeferredWrites()
+		}
+		// Wall-clock stamps from racing goroutines are not globally ordered;
+		// the recorder clamps them monotone (DESIGN.md §12).
+		rec.SetMonotone(true)
+		b.SetObserver(rec)
+	}
+	for _, steps := range batch {
+		b.Submit(steps)
+	}
+	sum := b.Run()
+	res := LiveResult{Summary: sum, Violations: b.Violations()}
+	ends, samples := b.ClockClamps()
+	res.ClockClamps = ends + samples
+	if err := b.Err(); err != nil {
+		return res, err
+	}
+	if check {
+		if err := rec.CheckSerializable(); err != nil {
+			return res, fmt.Errorf("batchsched: %s produced a non-serializable live history: %w", scheduler, err)
+		}
+	}
+	return res, nil
 }
 
 // RunSimBatch executes the same kind of closed batch on the simulator

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"batchsched/internal/experiments"
 	"batchsched/internal/machine"
@@ -170,3 +171,46 @@ func BenchmarkRunC2PL(b *testing.B) { benchOneRun(b, "C2PL", 0.08) }
 // BenchmarkRunOPT measures a run under optimistic locking (includes
 // restart churn).
 func BenchmarkRunOPT(b *testing.B) { benchOneRun(b, "OPT", 0.05) }
+
+// BenchmarkObsOverhead runs the same simulation twice per iteration — once
+// bare and once with the full observability layer attached (spans, registry
+// sampling, audit) — and reports their wall-time ratio as obs_overhead
+// (1.0 = free, 1.10 = 10% slower instrumented). The ratio is tracked in
+// BENCH_core.json and gated by benchjson -compare, so instrumentation cost
+// creep fails CI the same way an ns/op regression does.
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumNodes = 16
+	cfg.DD = 4
+	cfg.ArrivalRate = 0.15
+	cfg.Duration = 100_000 * Millisecond
+	gen := NewBatchScanWorkload(16, 32)
+	run := func(seed int64, ob *Obs) {
+		s, err := sched.New("LOW", DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := machine.New(cfg, s, gen, sim.NewRNG(seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.SetObs(ob)
+		if sum := m.Run(); sum.Completions == 0 {
+			b.Fatal("no completions")
+		}
+	}
+	b.ReportAllocs()
+	var plain, instrumented time.Duration
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		t0 := time.Now()
+		run(seed, nil)
+		t1 := time.Now()
+		run(seed, NewObs())
+		instrumented += time.Since(t1)
+		plain += t1.Sub(t0)
+	}
+	if plain > 0 {
+		b.ReportMetric(instrumented.Seconds()/plain.Seconds(), "obs_overhead")
+	}
+}

@@ -51,6 +51,11 @@ func main() {
 		traceFile = flag.String("trace", "", "write a JSONL execution trace to this file (single rep only)")
 		asJSON    = flag.Bool("json", false, "print the summary as JSON")
 
+		serveAddr   = flag.String("serve", "", "serve live telemetry at this address (host:port; :0 picks a port): /metrics, /healthz, /slo, /debug/pprof; requires -backend live")
+		serveLinger = flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run completes (for external scrapers)")
+		sliLedger   = flag.String("sli-ledger", "", "append one SLI ledger line (JSONL, see internal/obs/sli) for the run to this file")
+		sloSpec     = flag.String("slo-spec", "", "JSON SLO spec file for -sli-ledger (empty = built-in default spec)")
+
 		traceOut        = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file (single rep)")
 		metricsOut      = flag.String("metrics-out", "", "write the sampled metrics time-series as CSV to this file (single rep)")
 		metricsInterval = flag.Float64("metrics-interval", 1000, "metrics sampling interval, virtual milliseconds")
@@ -102,6 +107,10 @@ func main() {
 	// run the simulation through different entry points.
 	if *progress && (*check || *traceOut != "" || *metricsOut != "" || *auditOut != "" || *reportOut != "") {
 		fmt.Fprintln(os.Stderr, "batchsim: -progress is incompatible with -check and the observability outputs")
+		os.Exit(2)
+	}
+	if err := validateTelemetryFlags(*serveAddr, *sliLedger, *backend, *compare); err != nil {
+		fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -191,11 +200,23 @@ func main() {
 			lcfg.RestartDelay = time.Duration(*restartDelay * float64(time.Second))
 		}
 		batch := batchsched.GenerateBatch(gen, *seed, *txns)
-		run := batchsched.RunLiveBatch
-		if *check {
-			run = batchsched.RunLiveChecked
+		var (
+			sum batchsched.Summary
+			err error
+		)
+		if *serveAddr != "" || *sliLedger != "" {
+			sum, err = runLiveTelemetry(lcfg, *schedName, params, batch, telemetryOpts{
+				serveAddr: *serveAddr, linger: *serveLinger,
+				ledger: *sliLedger, specPath: *sloSpec,
+				check: *check, wl: *wl, seed: *seed,
+			})
+		} else {
+			run := batchsched.RunLiveBatch
+			if *check {
+				run = batchsched.RunLiveChecked
+			}
+			sum, err = run(lcfg, *schedName, params, batch)
 		}
-		sum, err := run(lcfg, *schedName, params, batch)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
 			os.Exit(1)
@@ -321,6 +342,13 @@ func main() {
 		}
 	}
 
+	if *sliLedger != "" {
+		if lerr := appendSimLedger(*sliLedger, *sloSpec, *schedName, *wl, *lambda, *seed, sum); lerr != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", lerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "batchsim: SLI ledger line appended to %s\n", *sliLedger)
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestValidateTelemetryFlags(t *testing.T) {
+	cases := []struct {
+		name                 string
+		serve, ledger, backd string
+		compare              bool
+		wantErr              bool
+	}{
+		{name: "no telemetry", backd: "sim"},
+		{name: "serve on live", serve: ":0", backd: "live"},
+		{name: "serve on sim rejected", serve: ":0", backd: "sim", wantErr: true},
+		{name: "serve with compare rejected", serve: ":0", backd: "live", compare: true, wantErr: true},
+		{name: "ledger on sim", ledger: "sli.jsonl", backd: "sim"},
+		{name: "ledger on live", ledger: "sli.jsonl", backd: "live"},
+		{name: "ledger with compare rejected", ledger: "sli.jsonl", backd: "sim", compare: true, wantErr: true},
+		{name: "serve and ledger on live", serve: ":0", ledger: "sli.jsonl", backd: "live"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateTelemetryFlags(c.serve, c.ledger, c.backd, c.compare)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("validateTelemetryFlags(%q, %q, %q, %v) = %v, wantErr %v",
+					c.serve, c.ledger, c.backd, c.compare, err, c.wantErr)
+			}
+		})
+	}
+}

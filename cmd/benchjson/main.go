@@ -47,6 +47,12 @@ type benchResult struct {
 	// held to beating the sequential one per core spent. Higher is better;
 	// -compare treats a drop beyond -max-regress as a regression.
 	EventsPerSecPerCore float64 `json:"events_per_sec_per_core,omitempty"`
+	// ObsOverhead is the instrumented/bare wall-time ratio reported by
+	// BenchmarkObsOverhead (b.ReportMetric(..., "obs_overhead")): 1.0 means
+	// attaching the observability layer is free. -compare treats growth
+	// beyond -max-regress percent as a regression, so instrumentation cost
+	// creep is gated like any other slowdown.
+	ObsOverhead float64 `json:"obs_overhead,omitempty"`
 }
 
 type snapshot struct {
@@ -109,6 +115,8 @@ func parseBench(r *bufio.Scanner) (map[string]benchResult, error) {
 				br.EventsPerOp = v
 			case "events/sec/core":
 				br.EventsPerSecPerCore = v
+			case "obs_overhead":
+				br.ObsOverhead = v
 			}
 		}
 		if br.NsPerOp == 0 {
@@ -229,10 +237,12 @@ func loadBaseline(path string) (snapshot, error) {
 
 // runCompare diffs the "post" snapshots of two baseline files and returns
 // the process exit code: 0 when every shared benchmark's ns/op — and, where
-// both snapshots report them, events/op and events/sec/core — regression
-// stays within maxRegress percent, 1 otherwise. Events/op is deterministic
-// per workload, so any growth there is a real coalescing loss rather than
-// machine noise; events/sec/core regresses by DROPPING (higher is better).
+// both snapshots report them, events/op, events/sec/core and obs_overhead —
+// regression stays within maxRegress percent, 1 otherwise. Events/op is
+// deterministic per workload, so any growth there is a real coalescing loss
+// rather than machine noise; events/sec/core regresses by DROPPING (higher
+// is better); obs_overhead regresses by growing (1.0 = instrumentation is
+// free).
 func runCompare(oldPath, newPath string, maxRegress float64) int {
 	oldSnap, err := loadBaseline(oldPath)
 	if err != nil {
@@ -257,7 +267,7 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-12s %14s %14s %9s %14s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta", "ev/s/core")
+	fmt.Printf("%-12s %14s %14s %9s %14s %14s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta", "ev/s/core", "obs_ovh")
 	failed := false
 	for _, n := range names {
 		o, nw := oldSnap.Benches[n], newSnap.Benches[n]
@@ -285,10 +295,19 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 				failed = true
 			}
 		}
-		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s %14s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, coreCol, mark)
+		obsCol := "-"
+		if o.ObsOverhead > 0 && nw.ObsOverhead > 0 {
+			obsDelta := (nw.ObsOverhead/o.ObsOverhead - 1) * 100
+			obsCol = fmt.Sprintf("%+.1f%%", obsDelta)
+			if obsDelta > maxRegress {
+				mark = "  REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s %14s %12s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, coreCol, obsCol, mark)
 	}
 	if failed {
-		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op, events/op, or events/sec/core\n", maxRegress)
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op, events/op, events/sec/core, or obs_overhead\n", maxRegress)
 		return 1
 	}
 	fmt.Printf("OK: all %d shared benchmarks within %.1f%% of baseline\n", len(names), maxRegress)

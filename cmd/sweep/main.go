@@ -57,6 +57,9 @@ func main() {
 		ks         = flag.String("k", "", "comma-separated LOW conflict-bound grid")
 		mtbfs      = flag.String("mtbf", "", "comma-separated per-node MTBF grid in seconds")
 		load       = flag.String("load", "", "workload (exp1 or exp2; flag-built specs)")
+
+		serveAddr = flag.String("serve", "", "serve sweep telemetry at this address (host:port; :0 picks a port): /metrics, /healthz, /slo, /debug/pprof")
+		sloSpec   = flag.String("slo-spec", "", "JSON SLO spec file for the sli.jsonl ledger (empty = built-in default spec)")
 	)
 	flag.Parse()
 
@@ -105,6 +108,21 @@ func main() {
 	if *runWorker > 0 {
 		runFn = experiments.RunCellParallel(*runWorker)
 	}
+	if *serveAddr != "" {
+		tel := newSweepTelemetry(spec.NumUnits())
+		if err := tel.serveOn(*serveAddr); err != nil {
+			fatal(err)
+		}
+		defer tel.close()
+		runFn = tel.wrapRun(runFn)
+		printed := opt.OnProgress
+		opt.OnProgress = func(p sweep.Progress) {
+			tel.onProgress(p)
+			if printed != nil {
+				printed(p)
+			}
+		}
+	}
 	res, err := sweep.Run(ctx, spec, runFn, opt)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
@@ -122,6 +140,12 @@ func main() {
 
 	if err := writeOutputs(*outDir, res); err != nil {
 		fatal(err)
+	}
+	if !res.Halted {
+		if err := writeSLILedger(filepath.Join(*outDir, "sli.jsonl"), *sloSpec,
+			res.Spec.Norm().Name, res.Aggregates()); err != nil {
+			fatal(err)
+		}
 	}
 	if res.Halted {
 		fmt.Fprintf(os.Stderr, "sweep: halted after %d new units (%d/%d done); rerun with -resume\n",

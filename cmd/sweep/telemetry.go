@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batchsched/internal/metrics"
+	"batchsched/internal/obs/serve"
+	"batchsched/internal/obs/sli"
+	"batchsched/internal/obs/stream"
+	"batchsched/internal/sim"
+	"batchsched/internal/sweep"
+)
+
+// sweepTelemetry is the sweep engine's -serve surface: streaming
+// instruments over cell progress and worker activity, rendered as
+// Prometheus text on /metrics, with the last engine Progress snapshot (and
+// the busy-worker count) as JSON on /slo.
+type sweepTelemetry struct {
+	start time.Time
+	set   *stream.Set
+	srv   *serve.Server
+
+	unitsRate *stream.Rate
+	unitsDone *stream.Gauge
+	unitsTot  *stream.Gauge
+	resumed   *stream.Gauge
+	busy      atomic.Int64
+	unitSecs  *stream.Sketch
+
+	mu   sync.Mutex
+	last progressSnapshot
+}
+
+// progressSnapshot is the /slo payload: the engine's Progress fields plus
+// the worker-pool state.
+type progressSnapshot struct {
+	Done           int     `json:"done"`
+	Total          int     `json:"total"`
+	Resumed        int     `json:"resumed"`
+	UnitsPerSec    float64 `json:"unitsPerSec"`
+	ETASeconds     float64 `json:"etaSeconds"`
+	VirtualPerWall float64 `json:"virtualPerWall"`
+	BusyWorkers    int64   `json:"busyWorkers"`
+}
+
+func newSweepTelemetry(totalUnits int) *sweepTelemetry {
+	t := &sweepTelemetry{start: time.Now(), set: stream.NewSet()}
+	t.unitsRate = t.set.Rate("sweep_units", "Completed (cell, replication) units.", 30*time.Second, time.Second)
+	t.unitsDone = t.set.Gauge("sweep_units_done", "Units completed so far, including resumed ones.")
+	t.unitsTot = t.set.Gauge("sweep_units_total_planned", "Units the sweep will run in total.")
+	t.resumed = t.set.Gauge("sweep_units_resumed", "Units skipped by checkpoint resume.")
+	t.set.GaugeFunc("sweep_workers_busy", "Worker goroutines currently executing a unit.",
+		func() float64 { return float64(t.busy.Load()) })
+	t.unitSecs = t.set.Sketch("sweep_unit_seconds", "Wall-clock duration of one executed unit in seconds.")
+	t.unitsTot.Set(int64(totalUnits))
+	return t
+}
+
+// now maps wall time since telemetry start onto the stream clock.
+func (t *sweepTelemetry) now() sim.Time {
+	return sim.Time(time.Since(t.start) / time.Microsecond)
+}
+
+// wrapRun instruments a RunFunc with worker-activity accounting: the
+// busy-worker gauge and the per-unit wall-duration sketch. The wrapped
+// function runs on the engine's worker goroutines; everything it touches is
+// atomic.
+func (t *sweepTelemetry) wrapRun(run sweep.RunFunc) sweep.RunFunc {
+	return func(c sweep.Cell, seed int64) (metrics.Summary, error) {
+		t.busy.Add(1)
+		t0 := time.Now()
+		sum, err := run(c, seed)
+		t.unitSecs.Observe(time.Since(t0).Seconds())
+		t.busy.Add(-1)
+		return sum, err
+	}
+}
+
+// onProgress records the engine's progress callback (already serialized by
+// the engine's mutex) into gauges and the /slo snapshot.
+func (t *sweepTelemetry) onProgress(p sweep.Progress) {
+	t.unitsRate.Add(t.now(), 1)
+	t.unitsDone.Set(int64(p.Done))
+	t.resumed.Set(int64(p.Resumed))
+	t.mu.Lock()
+	t.last = progressSnapshot{
+		Done: p.Done, Total: p.Total, Resumed: p.Resumed,
+		UnitsPerSec: round3(p.UnitsPerSec), ETASeconds: round3(p.ETASeconds),
+		VirtualPerWall: round3(p.VirtualPerWall),
+	}
+	t.mu.Unlock()
+}
+
+func round3(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*1000) / 1000
+}
+
+// snapshot returns the /slo payload.
+func (t *sweepTelemetry) snapshot() progressSnapshot {
+	t.mu.Lock()
+	s := t.last
+	t.mu.Unlock()
+	s.BusyWorkers = t.busy.Load()
+	return s
+}
+
+// serveOn starts the HTTP endpoint and prints the scrape URL.
+func (t *sweepTelemetry) serveOn(addr string) error {
+	t.srv = serve.New()
+	t.srv.AddMetrics(func(w http.ResponseWriter) error { return t.set.WritePrometheus(w, t.now()) })
+	t.srv.SetSLO(func() any { return t.snapshot() })
+	bound, err := t.srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: telemetry on http://%s (/metrics /healthz /slo /debug/pprof)\n", bound)
+	return nil
+}
+
+func (t *sweepTelemetry) close() {
+	if t.srv != nil {
+		t.srv.Close()
+	}
+}
+
+// writeSLILedger evaluates every aggregated cell against the SLO spec and
+// writes the sweep's sli.jsonl: one stable-schema line per cell
+// (replication means as the measures), no timestamps, so two runs of the
+// same sweep produce byte-identical ledgers.
+func writeSLILedger(path, specPath, sweepName string, aggs []sweep.Agg) error {
+	spec := sli.Default()
+	if specPath != "" {
+		var err error
+		if spec, err = sli.Load(specPath); err != nil {
+			return err
+		}
+	}
+	entries := make([]sli.Entry, 0, len(aggs))
+	for _, a := range aggs {
+		m := sli.Measures{
+			Scheduler:     a.Cell.Scheduler,
+			Load:          a.Cell.Load,
+			Lambda:        a.Cell.Lambda,
+			TPS:           a.TPS.Mean,
+			MeanRTSeconds: a.MeanRTSeconds.Mean,
+			P95RTSeconds:  a.P95RTSeconds.Mean,
+			Completions:   a.Completions.Mean,
+			Restarts:      a.Restarts.Mean,
+		}
+		e := sli.NewEntry("sweep", spec, m)
+		e.Sweep = sweepName
+		e.CellKey = a.Cell.Key()
+		e.Reps = a.Reps
+		entries = append(entries, e)
+	}
+	return sli.WriteLedger(path, entries)
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"batchsched/internal/model"
+	"batchsched/internal/obs/stream"
 	"batchsched/internal/sim"
 )
 
@@ -56,6 +57,13 @@ type dpnWorker struct {
 	busy       time.Duration
 	violations int
 	wg         *sync.WaitGroup
+
+	// Streaming telemetry for this node (nil when telemetry is off). Updated
+	// once per service quantum; all atomic, so the scrape goroutine reads
+	// them while the node serves.
+	strQueue  *stream.Gauge
+	strBusyUS *stream.Gauge
+	strRows   *stream.Rate
 }
 
 // loop is the node's goroutine: admit every waiting cohort, serve one
@@ -154,5 +162,10 @@ func (d *dpnWorker) serve() {
 		}
 	} else {
 		d.cur = (d.cur + 1) % len(d.ring)
+	}
+	if d.strRows != nil {
+		d.strRows.Add(d.clk.Now(), int64(n))
+		d.strBusyUS.Set(int64(d.busy / time.Microsecond))
+		d.strQueue.Set(int64(len(d.ring)))
 	}
 }

@@ -25,10 +25,13 @@ import (
 	"sync"
 	"time"
 
+	"strconv"
+
 	"batchsched/internal/engine"
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
 	"batchsched/internal/obs"
+	"batchsched/internal/obs/stream"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 )
@@ -180,6 +183,18 @@ type Backend struct {
 	obsRetries  *obs.Histogram
 	lastSample  sim.Time
 
+	// Streaming instruments (telemetry for the /metrics endpoint). All nil
+	// when telemetry is off; every update below is nil-receiver safe and the
+	// rest are guarded on b.stream, so the disabled cost is one pointer test.
+	stream      *stream.Set
+	strGrants   *stream.Rate
+	strBlocks   *stream.Rate
+	strRestarts *stream.Rate
+	strCommits  *stream.Rate
+	strRT       *stream.Sketch
+	strActive   *stream.Gauge
+	strWaiting  *stream.Gauge
+
 	txns    []*texec
 	jobs    []liveJob
 	admitQ  []*texec
@@ -263,6 +278,94 @@ func (b *Backend) SetObs(o *obs.Observer) {
 	}
 }
 
+// SetStream attaches the streaming telemetry registry: wall-clock decision
+// and commit rates, the response-time quantile sketch, active/waiting
+// gauges, clamp counters, and (registered in Run, once the workers exist)
+// per-DPN queue-depth, busy-time and row-scan instruments. Unlike SetObs,
+// these are written on the hot path and read concurrently by the scrape
+// endpoint — which is why they are stream instruments (atomics) and not
+// registry gauges over CN fields. Call before Run; a nil set disables.
+func (b *Backend) SetStream(set *stream.Set) {
+	if set == nil {
+		return
+	}
+	b.stream = set
+	const win, slot = 10 * time.Second, time.Second
+	b.strGrants = set.Rate("live_grants", "Scheduler grant decisions.", win, slot)
+	b.strBlocks = set.Rate("live_blocks", "Scheduler block decisions.", win, slot)
+	b.strRestarts = set.Rate("live_restarts", "Transaction aborts and restarts.", win, slot)
+	b.strCommits = set.Rate("live_commits", "Committed transactions.", win, slot)
+	b.strRT = set.Sketch("live_rt_seconds", "Transaction response time in seconds.")
+	b.strActive = set.Gauge("live_active_txns", "Admitted and uncommitted transactions.")
+	b.strWaiting = set.Gauge("live_waiting_txns", "Blocked, policy-delayed, or admission-parked transactions.")
+	set.GaugeFunc("obs_clock_clamps", "Monotone clock-regression clamps in the observability layer (span ends plus samples).", func() float64 {
+		ends, samples := b.ob.ClockClamps()
+		return float64(ends + samples)
+	})
+}
+
+// mark counts one event on a stream rate at the current wall clock.
+func (b *Backend) mark(r *stream.Rate) {
+	if r != nil {
+		r.Add(b.clk.Now(), 1)
+	}
+}
+
+// sampleStreamGauges refreshes the CN-owned point-in-time gauges. Called
+// from the CN loop so the scrape endpoint never reads CN fields directly.
+func (b *Backend) sampleStreamGauges() {
+	if b.stream == nil {
+		return
+	}
+	b.strActive.Set(int64(b.active))
+	n := len(b.delayed) + len(b.admitQ)
+	for _, l := range b.blocked {
+		n += len(l)
+	}
+	b.strWaiting.Set(int64(n))
+}
+
+// ClockClamps reports the attached observer's monotone clock-clamp
+// counters (zero when no observer is attached). Safe from any goroutine.
+func (b *Backend) ClockClamps() (spanEnds, samples int64) { return b.ob.ClockClamps() }
+
+// SLOSnapshot is the /slo endpoint's view of a run in flight, assembled
+// entirely from streaming instruments (atomics), so it can be taken from
+// the scrape goroutine while the CN and DPNs execute.
+type SLOSnapshot struct {
+	ActiveTxns    int64   `json:"activeTxns"`
+	WaitingTxns   int64   `json:"waitingTxns"`
+	Commits       int64   `json:"commits"`
+	CommitsPerSec float64 `json:"commitsPerSec"`
+	Grants        int64   `json:"grants"`
+	Blocks        int64   `json:"blocks"`
+	Restarts      int64   `json:"restarts"`
+	P50RTSeconds  float64 `json:"p50RtSeconds"`
+	P95RTSeconds  float64 `json:"p95RtSeconds"`
+	ClockClamps   int64   `json:"clockClamps"`
+}
+
+// Snapshot returns the current SLO snapshot (zero value when no stream set
+// is attached). Safe from any goroutine.
+func (b *Backend) Snapshot() SLOSnapshot {
+	if b.stream == nil {
+		return SLOSnapshot{}
+	}
+	ends, samples := b.ClockClamps()
+	return SLOSnapshot{
+		ActiveTxns:    b.strActive.Value(),
+		WaitingTxns:   b.strWaiting.Value(),
+		Commits:       b.strCommits.Total(),
+		CommitsPerSec: b.strCommits.RatePerSec(b.clk.Now()),
+		Grants:        b.strGrants.Total(),
+		Blocks:        b.strBlocks.Total(),
+		Restarts:      b.strRestarts.Total(),
+		P50RTSeconds:  b.strRT.Quantile(0.5),
+		P95RTSeconds:  b.strRT.Quantile(0.95),
+		ClockClamps:   ends + samples,
+	}
+}
+
 // Submit adds one transaction to the batch. Call before Run.
 func (b *Backend) Submit(steps []model.Step) *model.Txn {
 	if b.ran {
@@ -328,6 +431,16 @@ func (b *Backend) Run() metrics.Summary {
 			guard:       newDataGuard(),
 			wg:          &b.wg,
 		}
+		if b.stream != nil {
+			node := strconv.Itoa(i)
+			d := b.dpns[i]
+			d.strQueue = b.stream.Gauge("live_dpn_queue_depth",
+				"Cohorts resident in the node's service ring.", "node", node)
+			d.strBusyUS = b.stream.Gauge("live_dpn_busy_us",
+				"Cumulative busy time at the node in microseconds.", "node", node)
+			d.strRows = b.stream.Rate("live_dpn_rows_scanned",
+				"Rows scanned by the node.", 10*time.Second, time.Second, "node", node)
+		}
 		b.wg.Add(1)
 		go b.dpns[i].loop()
 	}
@@ -368,6 +481,7 @@ func (b *Backend) Run() metrics.Summary {
 		if b.err != nil {
 			break
 		}
+		b.sampleStreamGauges()
 		if b.ob.Enabled() && b.cfg.SampleEvery > 0 {
 			if now := b.clk.Now(); now-b.lastSample >= sim.Time(b.cfg.SampleEvery/time.Microsecond) {
 				b.lastSample = now
@@ -457,6 +571,7 @@ func (b *Backend) processRequest(e *texec) {
 	case sched.Grant:
 		b.met.Granted()
 		b.obsGrant.Inc()
+		b.mark(b.strGrants)
 		b.endWait(e)
 		if b.ob.Enabled() {
 			e.stepSpan = b.ob.Begin("execute", "txn", e.txn.ID, -1,
@@ -467,6 +582,7 @@ func (b *Backend) processRequest(e *texec) {
 	case sched.Block:
 		b.met.Block()
 		b.obsBlock.Inc()
+		b.mark(b.strBlocks)
 		b.beginWait(e)
 		file := e.txn.CurrentStep().File
 		b.blocked[file] = append(b.blocked[file], e)
@@ -480,6 +596,7 @@ func (b *Backend) processRequest(e *texec) {
 		// cohorts are in flight — the decision happened at request time.
 		b.met.Restart()
 		b.obsRestart.Inc()
+		b.mark(b.strRestarts)
 		e.txn.Restarts++
 		b.endWait(e)
 		b.sch.Aborted(e.txn)
@@ -574,6 +691,7 @@ func (b *Backend) processCommit(e *texec) {
 		// attempt), mirroring machine's contCommitFail.
 		b.met.Restart()
 		b.obsRestart.Inc()
+		b.mark(b.strRestarts)
 		e.txn.Restarts++
 		if e.commitSpan != 0 {
 			b.ob.End(e.commitSpan, b.clk.Now())
@@ -597,6 +715,11 @@ func (b *Backend) processCommit(e *texec) {
 		rt = 0
 	}
 	b.met.Completion(now, rt)
+	if b.strCommits != nil {
+		b.strCommits.Add(now, 1)
+		b.strRT.Observe(float64(rt) / 1e6) // sim.Time microseconds -> seconds
+		b.strActive.Set(int64(b.active))
+	}
 	if b.ob.Enabled() {
 		b.ob.End(e.commitSpan, now)
 		e.commitSpan = 0

@@ -1,0 +1,99 @@
+package live_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"batchsched/internal/engine/live"
+	"batchsched/internal/obs/stream"
+	"batchsched/internal/sched"
+)
+
+// TestStreamWiring runs a live batch with streaming telemetry attached and
+// checks the stream totals against the run summary: the scrape-side view
+// must agree with the authoritative metrics.
+func TestStreamWiring(t *testing.T) {
+	const n = 24
+	batch := exp1Batch(11, 6, n)
+	b, err := live.New(liveConfig(6, 1), sched.MustNew("LOW", sched.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := stream.NewSet()
+	b.SetStream(set)
+	for _, steps := range batch {
+		b.Submit(steps)
+	}
+	sum := b.Run()
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completions != n {
+		t.Fatalf("completions = %d, want %d", sum.Completions, n)
+	}
+
+	snap := b.Snapshot()
+	if snap.Commits != int64(n) {
+		t.Errorf("stream commits = %d, want %d", snap.Commits, n)
+	}
+	if snap.Restarts != int64(sum.Restarts) {
+		t.Errorf("stream restarts = %d, want %d", snap.Restarts, sum.Restarts)
+	}
+	if snap.Grants <= 0 || snap.Grants < snap.Commits {
+		t.Errorf("stream grants = %d, want >= commits %d", snap.Grants, snap.Commits)
+	}
+	if snap.ActiveTxns != 0 {
+		t.Errorf("active txns after drain = %d, want 0", snap.ActiveTxns)
+	}
+	if snap.P95RTSeconds <= 0 || snap.P50RTSeconds <= 0 {
+		t.Errorf("RT quantiles not populated: p50=%v p95=%v", snap.P50RTSeconds, snap.P95RTSeconds)
+	}
+	if snap.P50RTSeconds > snap.P95RTSeconds {
+		t.Errorf("p50 %v > p95 %v", snap.P50RTSeconds, snap.P95RTSeconds)
+	}
+
+	// The full registry renders valid exposition text with the per-DPN
+	// instruments present.
+	var buf bytes.Buffer
+	if err := set.WritePrometheus(&buf, b.Now()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"live_commits_total 24", "live_rt_seconds_count 24",
+		`live_dpn_rows_scanned_total{node="0"}`, `live_dpn_queue_depth{node="3"}`,
+		"obs_clock_clamps",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := stream.ValidatePrometheus(&buf); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+// TestStreamDisabledSnapshot: without SetStream, Run works and Snapshot
+// returns the zero value.
+func TestStreamDisabledSnapshot(t *testing.T) {
+	const n = 8
+	batch := exp1Batch(3, 6, n)
+	b, err := live.New(liveConfig(6, 1), sched.MustNew("GOW", sched.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, steps := range batch {
+		b.Submit(steps)
+	}
+	sum := b.Run()
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completions != n {
+		t.Fatalf("completions = %d, want %d", sum.Completions, n)
+	}
+	if snap := b.Snapshot(); snap != (live.SLOSnapshot{}) {
+		t.Fatalf("disabled Snapshot = %+v, want zero value", snap)
+	}
+}

@@ -17,7 +17,11 @@
 // differenced into utilization timelines; all other gauges are plotted raw.
 package obs
 
-import "batchsched/internal/sim"
+import (
+	"sync/atomic"
+
+	"batchsched/internal/sim"
+)
 
 // SpanID refers to a recorded span; the zero SpanID is "no span" and is what
 // a disabled observer returns, so callers can thread ids around untested.
@@ -65,6 +69,14 @@ type Observer struct {
 	interval sim.Time
 	sampling bool
 	lastTick sim.Time
+
+	// clampedSpanEnds and clampedSamples count monotone-clamp events: span
+	// closes and metric samples whose clock reading ran backwards and had to
+	// be clamped (see End and sample). Both stay zero under virtual time;
+	// non-zero values measure wall-clock regression in the live backend.
+	// Atomic so the scrape endpoint can read them from another goroutine.
+	clampedSpanEnds atomic.Int64
+	clampedSamples  atomic.Int64
 }
 
 // DefaultSampleInterval is the metrics sampling period of a fresh Observer.
@@ -114,9 +126,22 @@ func (o *Observer) End(id SpanID, at sim.Time) {
 	if sp.End < 0 {
 		if at < sp.Start {
 			at = sp.Start
+			o.clampedSpanEnds.Add(1)
 		}
 		sp.End = at
 	}
+}
+
+// ClockClamps returns how often clock regression was clamped so far: span
+// closes whose end time preceded their start, and metric samples taken at a
+// reading before the previous one. Zero under virtual time; under the live
+// backend a non-zero count quantifies cross-goroutine wall-clock skew.
+// Safe to call from any goroutine.
+func (o *Observer) ClockClamps() (spanEnds, samples int64) {
+	if o == nil {
+		return 0, 0
+	}
+	return o.clampedSpanEnds.Load(), o.clampedSamples.Load()
 }
 
 // Spans returns the recorded spans in creation order (aliases internal
@@ -160,6 +185,7 @@ func (o *Observer) sample(now sim.Time) {
 	// backwards series. No-op under virtual time.
 	if now < o.lastTick {
 		now = o.lastTick
+		o.clampedSamples.Add(1)
 	}
 	o.lastTick = now
 	o.reg.sample(now)

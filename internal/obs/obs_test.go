@@ -181,3 +181,40 @@ func TestSampling(t *testing.T) {
 		t.Fatal("TimeSeries of an unknown column returned data")
 	}
 }
+
+// TestClockClamps: monotone clamping of wall-clock regression is counted,
+// once per clamped span end and once per clamped sample.
+func TestClockClamps(t *testing.T) {
+	o := New()
+	o.SetSampleInterval(sim.Second)
+
+	id := o.Begin("txn", "txn", 1, -1, -1, 0, 10*sim.Millisecond)
+	o.End(id, 5*sim.Millisecond) // wall clock ran backwards: clamp to start
+	spanEnds, samples := o.ClockClamps()
+	if spanEnds != 1 || samples != 0 {
+		t.Fatalf("after clamped End: ClockClamps = %d, %d; want 1, 0", spanEnds, samples)
+	}
+	if got := o.Spans()[0]; got.End != got.Start {
+		t.Fatalf("clamped span End = %v, want Start %v", got.End, got.Start)
+	}
+
+	o.SampleNow(2 * sim.Second)
+	o.SampleNow(1 * sim.Second) // regressed sample tick: clamp to lastTick
+	spanEnds, samples = o.ClockClamps()
+	if spanEnds != 1 || samples != 1 {
+		t.Fatalf("after clamped sample: ClockClamps = %d, %d; want 1, 1", spanEnds, samples)
+	}
+
+	// Forward motion never counts.
+	id2 := o.Begin("txn", "txn", 2, -1, -1, 0, 3*sim.Second)
+	o.End(id2, 4*sim.Second)
+	o.SampleNow(5 * sim.Second)
+	if se, sa := o.ClockClamps(); se != 1 || sa != 1 {
+		t.Fatalf("forward motion counted as clamps: %d, %d", se, sa)
+	}
+
+	var nilO *Observer
+	if se, sa := nilO.ClockClamps(); se != 0 || sa != 0 {
+		t.Fatal("nil observer reports clamps")
+	}
+}

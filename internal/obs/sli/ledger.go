@@ -1,0 +1,169 @@
+package sli
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Schema is the ledger line schema identifier. Bump the suffix on any
+// incompatible change; readers reject lines whose schema they do not know.
+const Schema = "batchsched-sli/1"
+
+// Entry is one ledger line: one run (batchsim) or one sweep cell's
+// replication aggregate, its measures, and its SLO verdict. Field order is
+// part of the on-disk byte format (encoding/json emits struct order), so
+// new fields go at the end.
+type Entry struct {
+	SchemaV string `json:"schema"`
+	// Time is the wall-clock stamp (RFC3339). Deterministic producers (the
+	// sweep engine, tests) leave it empty so ledger bytes are reproducible.
+	Time   string `json:"time,omitempty"`
+	Source string `json:"source"` // "live", "sim", or "sweep"
+	// Sweep and CellKey identify the producing sweep cell; Reps its
+	// replication count. All empty/zero for single runs.
+	Sweep   string `json:"sweep,omitempty"`
+	CellKey string `json:"cellKey,omitempty"`
+	Reps    int    `json:"reps,omitempty"`
+	// Seed is the run seed for single runs (0 for aggregates).
+	Seed     int64    `json:"seed,omitempty"`
+	SLO      string   `json:"slo"`
+	Measures Measures `json:"measures"`
+	Pass     bool     `json:"pass"`
+	Checks   []Check  `json:"checks"`
+}
+
+// NewEntry evaluates spec over m and assembles a ledger entry.
+func NewEntry(source string, spec Spec, m Measures) Entry {
+	pass, checks := spec.Evaluate(m)
+	return Entry{
+		SchemaV:  Schema,
+		Source:   source,
+		SLO:      spec.Name,
+		Measures: m,
+		Pass:     pass,
+		Checks:   checks,
+	}
+}
+
+// Scenario is the grouping key trend reports use: the sweep cell key when
+// present, else scheduler/load/lambda.
+func (e Entry) Scenario() string {
+	if e.CellKey != "" {
+		return e.CellKey
+	}
+	return fmt.Sprintf("sched=%s load=%s lambda=%g", e.Measures.Scheduler, e.Measures.Load, e.Measures.Lambda)
+}
+
+// Marshal renders the entry as its canonical single JSON line (with
+// trailing newline).
+func (e Entry) Marshal() ([]byte, error) {
+	if e.SchemaV != Schema {
+		return nil, fmt.Errorf("sli: entry schema %q, want %q", e.SchemaV, Schema)
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Append appends entries to the JSONL ledger at path, creating it if
+// needed. Each entry is one line; the file is opened O_APPEND so concurrent
+// producers interleave at line granularity.
+func Append(path string, entries ...Entry) error {
+	var buf bytes.Buffer
+	for _, e := range entries {
+		line, err := e.Marshal()
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("sli: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("sli: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteLedger writes entries as a complete ledger file (truncating),
+// for producers that own the whole file (the sweep engine's per-sweep
+// sli.jsonl).
+func WriteLedger(path string, entries []Entry) error {
+	var buf bytes.Buffer
+	for _, e := range entries {
+		line, err := e.Marshal()
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Read parses a ledger file, rejecting unknown schemas and malformed
+// lines with the line number.
+func Read(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sli: %w", err)
+	}
+	defer f.Close()
+	entries, err := decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("sli: %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// ValidateLedger checks that r is a well-formed ledger stream: every line
+// parses, carries the known schema, and names a source. It backs
+// `slireport -validate-ledger` in CI.
+func ValidateLedger(r io.Reader) error {
+	entries, err := decode(r)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("ledger has no entries")
+	}
+	return nil
+}
+
+func decode(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if e.SchemaV != Schema {
+			return nil, fmt.Errorf("line %d: unknown schema %q (want %q)", line, e.SchemaV, Schema)
+		}
+		if e.Source == "" {
+			return nil, fmt.Errorf("line %d: entry has no source", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

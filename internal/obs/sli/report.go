@@ -1,0 +1,265 @@
+package sli
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"batchsched/internal/report"
+)
+
+// Epoch is one historical ledger: a labelled set of entries, typically one
+// sweep's sli.jsonl or one CI run's appended ledger. Epoch order (oldest
+// first) is the trend axis.
+type Epoch struct {
+	Label   string
+	Entries []Entry
+}
+
+// LoadEpochs reads ledger files in the given order, labelling each by its
+// base name without extension (directory-named ledgers like
+// "sweep1/sli.jsonl" fall back to the directory name).
+func LoadEpochs(paths []string) ([]Epoch, error) {
+	var out []Epoch
+	for _, p := range paths {
+		entries, err := Read(p)
+		if err != nil {
+			return nil, err
+		}
+		label := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		if label == "sli" {
+			if dir := filepath.Base(filepath.Dir(p)); dir != "." && dir != string(filepath.Separator) {
+				label = dir
+			}
+		}
+		out = append(out, Epoch{Label: label, Entries: entries})
+	}
+	return out, nil
+}
+
+// cellStat is one scenario's aggregate within one epoch.
+type cellStat struct {
+	n        int
+	passes   int
+	tps, p95 float64 // means over the epoch's entries
+}
+
+func (c cellStat) passRate() float64 {
+	if c.n == 0 {
+		return math.NaN()
+	}
+	return float64(c.passes) / float64(c.n)
+}
+
+// Trend is one scenario's trajectory across the epochs: per-epoch
+// aggregates plus a first-observed → last-observed delta and a regression
+// verdict.
+type Trend struct {
+	Scenario string
+	// PerEpoch has one aggregate per epoch; absent scenarios hold n == 0.
+	PerEpoch []cellStat
+	// DeltaTPSPct and DeltaP95Pct compare the last epoch with data against
+	// the first (positive = grew). NaN when fewer than two epochs have data.
+	DeltaTPSPct float64
+	DeltaP95Pct float64
+	// Regressed is true when throughput fell, tail latency grew beyond the
+	// tolerance, or the pass rate dropped between those endpoints.
+	Regressed bool
+}
+
+// Trends aggregates epochs per scenario and flags regressions beyond
+// tolPct percent (throughput loss or p95 growth) or any pass-rate drop.
+// Scenarios are sorted for deterministic output.
+func Trends(epochs []Epoch, tolPct float64) []Trend {
+	scenarios := map[string]bool{}
+	for _, ep := range epochs {
+		for _, e := range ep.Entries {
+			scenarios[e.Scenario()] = true
+		}
+	}
+	keys := make([]string, 0, len(scenarios))
+	for k := range scenarios {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := make([]Trend, 0, len(keys))
+	for _, key := range keys {
+		t := Trend{Scenario: key, PerEpoch: make([]cellStat, len(epochs)),
+			DeltaTPSPct: math.NaN(), DeltaP95Pct: math.NaN()}
+		for i, ep := range epochs {
+			st := &t.PerEpoch[i]
+			for _, e := range ep.Entries {
+				if e.Scenario() != key {
+					continue
+				}
+				st.n++
+				if e.Pass {
+					st.passes++
+				}
+				st.tps += e.Measures.TPS
+				st.p95 += e.Measures.P95RTSeconds
+			}
+			if st.n > 0 {
+				st.tps /= float64(st.n)
+				st.p95 /= float64(st.n)
+			}
+		}
+		first, last := -1, -1
+		for i := range t.PerEpoch {
+			if t.PerEpoch[i].n > 0 {
+				if first < 0 {
+					first = i
+				}
+				last = i
+			}
+		}
+		if first >= 0 && last > first {
+			a, b := t.PerEpoch[first], t.PerEpoch[last]
+			if a.tps > 0 {
+				t.DeltaTPSPct = (b.tps - a.tps) / a.tps * 100
+			}
+			if a.p95 > 0 {
+				t.DeltaP95Pct = (b.p95 - a.p95) / a.p95 * 100
+			}
+			t.Regressed = (!math.IsNaN(t.DeltaTPSPct) && t.DeltaTPSPct < -tolPct) ||
+				(!math.IsNaN(t.DeltaP95Pct) && t.DeltaP95Pct > tolPct) ||
+				b.passRate() < a.passRate()
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// PassRateTable renders per-epoch SLO pass rates: one row per scenario,
+// one column per epoch, plus an overall row.
+func PassRateTable(epochs []Epoch, trends []Trend) *report.Table {
+	t := &report.Table{
+		Title:  "SLO pass rate by epoch",
+		Note:   "pass rate = passing entries / entries in the epoch; '-' = scenario absent",
+		Header: append([]string{"scenario"}, epochLabels(epochs)...),
+	}
+	for _, tr := range trends {
+		row := []string{tr.Scenario}
+		for _, st := range tr.PerEpoch {
+			row = append(row, report.Pct(st.passRate()*100, 0))
+		}
+		t.AddRow(row...)
+	}
+	overall := []string{"(all)"}
+	for i := range epochs {
+		var n, passes int
+		for _, tr := range trends {
+			n += tr.PerEpoch[i].n
+			passes += tr.PerEpoch[i].passes
+		}
+		if n == 0 {
+			overall = append(overall, "-")
+		} else {
+			overall = append(overall, report.Pct(float64(passes)/float64(n)*100, 0))
+		}
+	}
+	t.AddRow(overall...)
+	return t
+}
+
+// TrendTable renders the regression view: first/last TPS and p95 with
+// percentage deltas and a verdict per scenario.
+func TrendTable(epochs []Epoch, trends []Trend, tolPct float64) *report.Table {
+	t := &report.Table{
+		Title: "SLI trend (first vs last epoch with data)",
+		Note: fmt.Sprintf("regression: TPS -%.0f%% or p95 +%.0f%% beyond tolerance, or pass-rate drop; epochs oldest->newest: %s",
+			tolPct, tolPct, strings.Join(epochLabels(epochs), ", ")),
+		Header: []string{"scenario", "tps first", "tps last", "tps Δ%", "p95s first", "p95s last", "p95 Δ%", "verdict"},
+	}
+	for _, tr := range trends {
+		first, last := endpointStats(tr)
+		verdict := "ok"
+		if first == nil || last == nil {
+			verdict = "insufficient data"
+		} else if tr.Regressed {
+			verdict = "REGRESSED"
+		}
+		row := []string{tr.Scenario}
+		if first == nil || last == nil {
+			row = append(row, "-", "-", "-", "-", "-", "-")
+		} else {
+			row = append(row,
+				report.F(first.tps, 3), report.F(last.tps, 3), report.F(tr.DeltaTPSPct, 1),
+				report.F(first.p95, 2), report.F(last.p95, 2), report.F(tr.DeltaP95Pct, 1))
+		}
+		row = append(row, verdict)
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// endpointStats returns the first and last epoch aggregates with data (nil
+// when fewer than two epochs observed the scenario).
+func endpointStats(tr Trend) (first, last *cellStat) {
+	for i := range tr.PerEpoch {
+		if tr.PerEpoch[i].n > 0 {
+			if first == nil {
+				first = &tr.PerEpoch[i]
+			}
+			last = &tr.PerEpoch[i]
+		}
+	}
+	if first == last {
+		return nil, nil
+	}
+	return first, last
+}
+
+func epochLabels(epochs []Epoch) []string {
+	out := make([]string, len(epochs))
+	for i, ep := range epochs {
+		out[i] = ep.Label
+	}
+	return out
+}
+
+// WriteTrendCSV emits the machine-readable trend: one row per scenario ×
+// epoch with pass rate and means, for downstream plotting.
+func WriteTrendCSV(w io.Writer, epochs []Epoch, trends []Trend) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "epoch", "entries", "pass_rate", "tps_mean", "p95_rt_seconds_mean"}); err != nil {
+		return err
+	}
+	fv := func(v float64) string {
+		if math.IsNaN(v) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for _, tr := range trends {
+		for i, st := range tr.PerEpoch {
+			if st.n == 0 {
+				continue
+			}
+			rec := []string{
+				tr.Scenario, epochs[i].Label, strconv.Itoa(st.n),
+				fv(st.passRate()), fv(st.tps), fv(st.p95),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// HTMLReport assembles the standalone HTML trend page from the same tables
+// the text renderer prints.
+func HTMLReport(title string, epochs []Epoch, trends []Trend, tolPct float64) string {
+	return report.HTMLDocument(title,
+		PassRateTable(epochs, trends).HTML(),
+		TrendTable(epochs, trends, tolPct).HTML(),
+	)
+}

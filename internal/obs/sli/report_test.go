@@ -1,0 +1,175 @@
+package sli
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// trendEpochs builds two epochs with one improving scenario, one regressing
+// scenario, and one that appears only in the second epoch.
+func trendEpochs() []Epoch {
+	spec := Default()
+	entry := func(sched string, tps, p95 float64, pass bool) Entry {
+		m := Measures{Scheduler: sched, Load: "exp1", TPS: tps, P95RTSeconds: p95, Completions: 100}
+		if !pass {
+			m.GuardViolations = 1
+		}
+		return NewEntry("sweep", spec, m)
+	}
+	return []Epoch{
+		{Label: "old", Entries: []Entry{
+			entry("LOW", 0.50, 40, true),
+			entry("LOW", 0.54, 44, true),
+			entry("GOW", 0.60, 30, true),
+		}},
+		{Label: "new", Entries: []Entry{
+			entry("LOW", 0.56, 38, true), // improved
+			entry("GOW", 0.40, 48, true), // TPS -33%, p95 +60%: regressed
+			entry("ASL", 0.30, 20, true), // only one epoch: insufficient data
+		}},
+	}
+}
+
+func TestTrends(t *testing.T) {
+	epochs := trendEpochs()
+	trends := Trends(epochs, 5)
+	if len(trends) != 3 {
+		t.Fatalf("got %d trends, want 3", len(trends))
+	}
+	byScenario := map[string]Trend{}
+	for _, tr := range trends {
+		byScenario[tr.Scenario] = tr
+	}
+
+	low, ok := byScenario["sched=LOW load=exp1 lambda=0"]
+	if !ok {
+		t.Fatalf("LOW scenario missing; have %v", keysOf(byScenario))
+	}
+	if low.Regressed {
+		t.Fatalf("improving LOW flagged as regressed: %+v", low)
+	}
+	if math.Abs(low.DeltaTPSPct-(0.56-0.52)/0.52*100) > 1e-9 {
+		t.Fatalf("LOW DeltaTPSPct = %v", low.DeltaTPSPct)
+	}
+	if low.PerEpoch[0].n != 2 || low.PerEpoch[1].n != 1 {
+		t.Fatalf("LOW per-epoch counts = %d,%d", low.PerEpoch[0].n, low.PerEpoch[1].n)
+	}
+
+	gow := byScenario["sched=GOW load=exp1 lambda=0"]
+	if !gow.Regressed {
+		t.Fatalf("GOW TPS -33%% / p95 +60%% not flagged: %+v", gow)
+	}
+
+	asl := byScenario["sched=ASL load=exp1 lambda=0"]
+	if asl.Regressed || !math.IsNaN(asl.DeltaTPSPct) {
+		t.Fatalf("single-epoch ASL should have NaN deltas: %+v", asl)
+	}
+
+	// Trend output is sorted by scenario.
+	for i := 1; i < len(trends); i++ {
+		if trends[i-1].Scenario >= trends[i].Scenario {
+			t.Fatalf("trends unsorted: %q before %q", trends[i-1].Scenario, trends[i].Scenario)
+		}
+	}
+}
+
+func keysOf(m map[string]Trend) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestTrendsPassRateDrop(t *testing.T) {
+	spec := Default()
+	ok := NewEntry("live", spec, Measures{Scheduler: "LOW", Load: "x", TPS: 1, P95RTSeconds: 10, Completions: 10})
+	bad := ok
+	bad.Pass = false
+	epochs := []Epoch{
+		{Label: "a", Entries: []Entry{ok}},
+		{Label: "b", Entries: []Entry{bad}},
+	}
+	trends := Trends(epochs, 50) // deltas are zero, well inside tolerance
+	if len(trends) != 1 || !trends[0].Regressed {
+		t.Fatalf("pass-rate drop not flagged: %+v", trends)
+	}
+}
+
+func TestTablesAndCSVDeterministic(t *testing.T) {
+	epochs := trendEpochs()
+	trends := Trends(epochs, 5)
+
+	pass1 := PassRateTable(epochs, trends).String()
+	pass2 := PassRateTable(epochs, trends).String()
+	if pass1 != pass2 {
+		t.Fatal("PassRateTable not deterministic")
+	}
+	if !strings.Contains(pass1, "(all)") || !strings.Contains(pass1, "old") || !strings.Contains(pass1, "new") {
+		t.Fatalf("pass-rate table missing rows/columns:\n%s", pass1)
+	}
+
+	tt := TrendTable(epochs, trends, 5).String()
+	if !strings.Contains(tt, "REGRESSED") {
+		t.Fatalf("trend table missing REGRESSED verdict:\n%s", tt)
+	}
+	if !strings.Contains(tt, "insufficient data") {
+		t.Fatalf("trend table missing insufficient-data verdict:\n%s", tt)
+	}
+
+	var csv1, csv2 strings.Builder
+	if err := WriteTrendCSV(&csv1, epochs, trends); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrendCSV(&csv2, epochs, trends); err != nil {
+		t.Fatal(err)
+	}
+	if csv1.String() != csv2.String() {
+		t.Fatal("trend CSV not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(csv1.String()), "\n")
+	if lines[0] != "scenario,epoch,entries,pass_rate,tps_mean,p95_rt_seconds_mean" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	// 5 scenario×epoch cells have data: LOW×2, GOW×2, ASL×1.
+	if len(lines) != 6 {
+		t.Fatalf("CSV has %d lines, want 6:\n%s", len(lines), csv1.String())
+	}
+
+	html := HTMLReport("t", epochs, trends, 5)
+	if !strings.Contains(html, "<table") || !strings.Contains(html, "REGRESSED") {
+		t.Fatalf("HTML report missing table content")
+	}
+}
+
+func TestLoadEpochsLabels(t *testing.T) {
+	dir := t.TempDir()
+	spec := Default()
+	e := NewEntry("sweep", spec, Measures{Scheduler: "LOW", Load: "x", TPS: 1, Completions: 1})
+
+	sub := filepath.Join(dir, "sweepA")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(sub, "sli.jsonl")
+	p2 := filepath.Join(dir, "nightly.jsonl")
+	if err := WriteLedger(p1, []Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLedger(p2, []Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := LoadEpochs([]string{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs[0].Label != "sweepA" || epochs[1].Label != "nightly" {
+		t.Fatalf("labels = %q, %q", epochs[0].Label, epochs[1].Label)
+	}
+	if _, err := LoadEpochs([]string{filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Fatal("missing ledger accepted")
+	}
+}

@@ -1,0 +1,215 @@
+// Package sli defines the service-level side of the telemetry subsystem: a
+// declarative SLO spec (response-time ceilings, throughput floors,
+// abort-rate and guard-violation ceilings, selectable per scheduler ×
+// scenario), the evaluation of one run's measures against it, an
+// append-only JSONL metrics ledger with one stable-schema line per
+// run/sweep cell, and pass-rate / regression-trend reporting across
+// historical ledgers (cmd/slireport).
+//
+// The ledger follows the batch-SLI design pattern referenced in
+// SNIPPETS.md: every producer (batchsim live runs, sweep cells) appends one
+// self-describing line, and all aggregation lives in the reader, so the
+// schema can be validated in CI and trends survive across process
+// boundaries and machines.
+package sli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"batchsched/internal/metrics"
+)
+
+// Objective is one declarative SLO row: the bounds it sets (nil = not
+// checked) applied to every run whose scheduler and load match the
+// selectors (empty selector = matches all).
+type Objective struct {
+	// Name labels the objective in checks and reports.
+	Name string `json:"name"`
+	// Scheduler and Load select which runs the objective applies to
+	// ("" matches every value).
+	Scheduler string `json:"scheduler,omitempty"`
+	Load      string `json:"load,omitempty"`
+	// MaxP95RTSeconds and MaxMeanRTSeconds are response-time ceilings.
+	MaxP95RTSeconds  *float64 `json:"maxP95RtSeconds,omitempty"`
+	MaxMeanRTSeconds *float64 `json:"maxMeanRtSeconds,omitempty"`
+	// MinTPS is the throughput floor.
+	MinTPS *float64 `json:"minTps,omitempty"`
+	// MaxAbortRate ceilings restarts per completed transaction.
+	MaxAbortRate *float64 `json:"maxAbortRate,omitempty"`
+	// MaxGuardViolations ceilings the live backend's data-guard
+	// co-residency violations (0 is a meaningful ceiling: none allowed).
+	MaxGuardViolations *float64 `json:"maxGuardViolations,omitempty"`
+}
+
+// matches reports whether the objective applies to the (scheduler, load)
+// pair.
+func (o Objective) matches(scheduler, load string) bool {
+	return (o.Scheduler == "" || o.Scheduler == scheduler) &&
+		(o.Load == "" || o.Load == load)
+}
+
+// bounds returns the objective's set bounds as checks-to-run.
+func (o Objective) bounds() []boundSpec {
+	var out []boundSpec
+	add := func(metric, kind string, p *float64, get func(Measures) float64) {
+		if p != nil {
+			out = append(out, boundSpec{metric: metric, kind: kind, bound: *p, get: get})
+		}
+	}
+	add("p95_rt_seconds", "max", o.MaxP95RTSeconds, func(m Measures) float64 { return m.P95RTSeconds })
+	add("mean_rt_seconds", "max", o.MaxMeanRTSeconds, func(m Measures) float64 { return m.MeanRTSeconds })
+	add("tps", "min", o.MinTPS, func(m Measures) float64 { return m.TPS })
+	add("abort_rate", "max", o.MaxAbortRate, func(m Measures) float64 { return m.AbortRate() })
+	add("guard_violations", "max", o.MaxGuardViolations, func(m Measures) float64 { return m.GuardViolations })
+	return out
+}
+
+type boundSpec struct {
+	metric, kind string
+	bound        float64
+	get          func(Measures) float64
+}
+
+// Spec is a named list of objectives — the whole declarative SLO.
+type Spec struct {
+	Name       string      `json:"name"`
+	Objectives []Objective `json:"objectives"`
+}
+
+// Default is the paper-grounded baseline SLO: the p95 response time stays
+// within the paper's 70-second operating criterion, restart churn stays
+// below two aborts per completion, and — for every scheduler that declares
+// conflicts (i.e. all but NODC, which violates by design) — the live
+// backend's data guards observe zero incompatible co-residencies.
+func Default() Spec {
+	f := func(v float64) *float64 { return &v }
+	var spec Spec
+	spec.Name = "default"
+	spec.Objectives = []Objective{
+		{Name: "rt-tail", MaxP95RTSeconds: f(70)},
+		{Name: "abort-churn", MaxAbortRate: f(2)},
+	}
+	for _, s := range []string{"ASL", "GOW", "LOW", "LOW-LB", "C2PL", "C2PL+M", "S2PL", "OPT"} {
+		spec.Objectives = append(spec.Objectives,
+			Objective{Name: "no-guard-violations", Scheduler: s, MaxGuardViolations: f(0)})
+	}
+	return spec
+}
+
+// Load reads and validates a JSON spec file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("sli: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sli: parsing %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Validate rejects specs with unnamed or boundless objectives.
+func (s Spec) Validate() error {
+	if len(s.Objectives) == 0 {
+		return fmt.Errorf("sli: spec %q has no objectives", s.Name)
+	}
+	for i, o := range s.Objectives {
+		if o.Name == "" {
+			return fmt.Errorf("sli: spec %q objective %d has no name", s.Name, i)
+		}
+		if len(o.bounds()) == 0 {
+			return fmt.Errorf("sli: spec %q objective %q sets no bounds", s.Name, o.Name)
+		}
+	}
+	return nil
+}
+
+// Measures are the indicators one run (or one sweep cell's replication
+// aggregate) is judged on. Counts are float64 so replication means fit
+// without a parallel schema.
+type Measures struct {
+	Scheduler       string  `json:"scheduler"`
+	Load            string  `json:"load"`
+	Lambda          float64 `json:"lambda,omitempty"`
+	TPS             float64 `json:"tps"`
+	MeanRTSeconds   float64 `json:"meanRtSeconds"`
+	P95RTSeconds    float64 `json:"p95RtSeconds"`
+	Completions     float64 `json:"completions"`
+	Restarts        float64 `json:"restarts"`
+	GuardViolations float64 `json:"guardViolations"`
+	// ClockClamps counts monotone-clamp events the observability layer hit
+	// (wall-clock regression made visible; see internal/obs).
+	ClockClamps float64 `json:"clockClamps"`
+}
+
+// AbortRate is restarts per completed transaction (0 when nothing
+// completed).
+func (m Measures) AbortRate() float64 {
+	if m.Completions <= 0 {
+		return 0
+	}
+	return m.Restarts / m.Completions
+}
+
+// FromSummary digests a run summary into measures. guardViolations and
+// clockClamps come from outside the summary (live backend / observer).
+func FromSummary(scheduler, load string, lambda float64, sum metrics.Summary, guardViolations, clockClamps int) Measures {
+	return Measures{
+		Scheduler:       scheduler,
+		Load:            load,
+		Lambda:          lambda,
+		TPS:             sum.TPS,
+		MeanRTSeconds:   sum.MeanRT.Seconds(),
+		P95RTSeconds:    sum.P95RT.Seconds(),
+		Completions:     float64(sum.Completions),
+		Restarts:        float64(sum.Restarts),
+		GuardViolations: float64(guardViolations),
+		ClockClamps:     float64(clockClamps),
+	}
+}
+
+// Check is one evaluated bound.
+type Check struct {
+	// Objective is the owning objective's name; Metric the indicator.
+	Objective string `json:"objective"`
+	Metric    string `json:"metric"`
+	// Kind is "max" (value must be <= bound) or "min" (>=).
+	Kind  string  `json:"kind"`
+	Bound float64 `json:"bound"`
+	Value float64 `json:"value"`
+	OK    bool    `json:"ok"`
+}
+
+// Evaluate runs every matching objective's bounds against the measures.
+// pass is the conjunction of all checks (vacuously true when nothing
+// matches).
+func (s Spec) Evaluate(m Measures) (pass bool, checks []Check) {
+	pass = true
+	for _, o := range s.Objectives {
+		if !o.matches(m.Scheduler, m.Load) {
+			continue
+		}
+		for _, b := range o.bounds() {
+			v := b.get(m)
+			ok := v <= b.bound
+			if b.kind == "min" {
+				ok = v >= b.bound
+			}
+			checks = append(checks, Check{
+				Objective: o.Name, Metric: b.metric, Kind: b.kind,
+				Bound: b.bound, Value: v, OK: ok,
+			})
+			pass = pass && ok
+		}
+	}
+	return pass, checks
+}

@@ -1,0 +1,196 @@
+package sli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+func TestEvaluate(t *testing.T) {
+	spec := Spec{Name: "test", Objectives: []Objective{
+		{Name: "rt", MaxP95RTSeconds: f(70)},
+		{Name: "tput", MinTPS: f(0.5)},
+		{Name: "low-only", Scheduler: "LOW", MaxAbortRate: f(1)},
+	}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := Measures{Scheduler: "GOW", Load: "exp1", TPS: 0.8, P95RTSeconds: 30, Completions: 100, Restarts: 250}
+	pass, checks := spec.Evaluate(m)
+	// low-only does not match GOW, so the high abort rate is not checked.
+	if !pass {
+		t.Fatalf("pass = false, checks %+v", checks)
+	}
+	if len(checks) != 2 {
+		t.Fatalf("got %d checks, want 2: %+v", len(checks), checks)
+	}
+
+	m.Scheduler = "LOW"
+	pass, checks = spec.Evaluate(m)
+	if pass {
+		t.Fatal("abort rate 2.5 passed a ceiling of 1")
+	}
+	var found bool
+	for _, c := range checks {
+		if c.Metric == "abort_rate" {
+			found = true
+			if c.OK || c.Value != 2.5 || c.Bound != 1 {
+				t.Fatalf("abort_rate check = %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no abort_rate check emitted for LOW")
+	}
+
+	// Min-kind bound failing.
+	m.TPS = 0.1
+	if pass, _ := spec.Evaluate(Measures{Scheduler: "GOW", TPS: 0.1, P95RTSeconds: 10}); pass {
+		t.Fatal("TPS 0.1 passed a floor of 0.5")
+	}
+}
+
+func TestEvaluateVacuouslyTrue(t *testing.T) {
+	spec := Spec{Name: "none", Objectives: []Objective{
+		{Name: "other", Scheduler: "C2PL", MaxP95RTSeconds: f(1)},
+	}}
+	pass, checks := spec.Evaluate(Measures{Scheduler: "LOW", P95RTSeconds: 99})
+	if !pass || len(checks) != 0 {
+		t.Fatalf("unmatched measures: pass=%v checks=%v", pass, checks)
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	spec := Default()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A healthy LOW run passes.
+	good := Measures{Scheduler: "LOW", Load: "exp1", TPS: 0.6, P95RTSeconds: 50, Completions: 100, Restarts: 10}
+	if pass, checks := spec.Evaluate(good); !pass {
+		t.Fatalf("healthy run failed default spec: %+v", checks)
+	}
+	// A guard violation fails any real scheduler.
+	bad := good
+	bad.GuardViolations = 1
+	if pass, _ := spec.Evaluate(bad); pass {
+		t.Fatal("guard violation passed the default spec")
+	}
+	// NODC is exempt from the guard objective by design.
+	nodc := Measures{Scheduler: "NODC", Load: "exp1", TPS: 0.6, P95RTSeconds: 50, Completions: 100, GuardViolations: 5}
+	if pass, checks := spec.Evaluate(nodc); !pass {
+		t.Fatalf("NODC guard violations failed the default spec: %+v", checks)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	if err := (Spec{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("empty spec validated")
+	}
+	if err := (Spec{Name: "x", Objectives: []Objective{{Name: ""}}}).Validate(); err == nil {
+		t.Fatal("unnamed objective validated")
+	}
+	if err := (Spec{Name: "x", Objectives: []Objective{{Name: "hollow"}}}).Validate(); err == nil {
+		t.Fatal("boundless objective validated")
+	}
+}
+
+func TestSpecLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slo.json")
+	body := `{"name": "custom", "objectives": [{"name": "rt", "maxP95RtSeconds": 60}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "custom" || len(spec.Objectives) != 1 || *spec.Objectives[0].MaxP95RTSeconds != 60 {
+		t.Fatalf("loaded spec = %+v", spec)
+	}
+	// Unknown fields are rejected.
+	if err := os.WriteFile(path, []byte(`{"name": "x", "objectves": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sli.jsonl")
+	spec := Default()
+
+	e1 := NewEntry("live", spec, Measures{Scheduler: "LOW", Load: "exp1", TPS: 0.5, P95RTSeconds: 40, Completions: 64})
+	e1.Seed = 7
+	e2 := NewEntry("sweep", spec, Measures{Scheduler: "GOW", Load: "exp1", Lambda: 0.6, TPS: 0.58, P95RTSeconds: 55, Completions: 1200, Restarts: 30})
+	e2.Sweep = "exp1"
+	e2.CellKey = "cell-key"
+	e2.Reps = 5
+
+	if err := Append(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d entries, want 2", len(got))
+	}
+	if got[0].Source != "live" || got[0].Seed != 7 || !got[0].Pass {
+		t.Fatalf("entry 0 = %+v", got[0])
+	}
+	if got[1].CellKey != "cell-key" || got[1].Reps != 5 {
+		t.Fatalf("entry 1 = %+v", got[1])
+	}
+	if got[0].Scenario() == got[1].Scenario() {
+		t.Fatal("distinct runs share a scenario key")
+	}
+	if got[1].Scenario() != "cell-key" {
+		t.Fatalf("cell scenario = %q", got[1].Scenario())
+	}
+
+	// The ledger validates, and byte-identical rewrites are deterministic.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateLedger(strings.NewReader(string(data))); err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(dir, "sli2.jsonl")
+	if err := WriteLedger(path2, []Entry{e1, e2}); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("Append and WriteLedger bytes differ:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestLedgerValidationRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad json":       "{not json}\n",
+		"wrong schema":   `{"schema":"other/9","source":"live","slo":"x","measures":{"scheduler":"a","load":"b","tps":0,"meanRtSeconds":0,"p95RtSeconds":0,"completions":0,"restarts":0,"guardViolations":0,"clockClamps":0},"pass":true,"checks":null}` + "\n",
+		"missing source": `{"schema":"batchsched-sli/1","source":"","slo":"x","measures":{"scheduler":"a","load":"b","tps":0,"meanRtSeconds":0,"p95RtSeconds":0,"completions":0,"restarts":0,"guardViolations":0,"clockClamps":0},"pass":true,"checks":null}` + "\n",
+	}
+	for name, text := range cases {
+		if err := ValidateLedger(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

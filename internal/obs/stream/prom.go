@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"batchsched/internal/sim"
+)
+
+// WritePrometheus renders the set's current state in the Prometheus text
+// exposition format (version 0.0.4). now is the clock reading used for the
+// sliding-window rates. Output order is deterministic: metric families in
+// first-registration order, instances in registration order, and for each
+// Rate the cumulative "<name>_total" counter followed by the windowed
+// "<name>_per_sec" gauge. Sketches render as summaries (fixed quantiles,
+// _sum, _count). A nil set writes nothing.
+func (s *Set) WritePrometheus(w io.Writer, now sim.Time) error {
+	if s == nil {
+		return nil
+	}
+	items := s.snapshot()
+	byName := map[string][]item{}
+	for _, it := range items {
+		byName[it.name] = append(byName[it.name], it)
+	}
+	bw := bufio.NewWriter(w)
+	sample := func(name, labels string, v string) {
+		if labels == "" {
+			fmt.Fprintf(bw, "%s %s\n", name, v)
+		} else {
+			fmt.Fprintf(bw, "%s{%s} %s\n", name, labels, v)
+		}
+	}
+	fv := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, name := range familyOrder(items) {
+		group := byName[name]
+		switch group[0].kind {
+		case kindRate:
+			fmt.Fprintf(bw, "# HELP %s_total %s\n# TYPE %s_total counter\n", name, group[0].help, name)
+			for _, it := range group {
+				sample(name+"_total", it.labels, strconv.FormatInt(it.rate.Total(), 10))
+			}
+			fmt.Fprintf(bw, "# HELP %s_per_sec %s (trailing-window rate)\n# TYPE %s_per_sec gauge\n", name, group[0].help, name)
+			for _, it := range group {
+				sample(name+"_per_sec", it.labels, fv(it.rate.RatePerSec(now)))
+			}
+		case kindGauge, kindGaugeFunc:
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n", name, group[0].help, name)
+			for _, it := range group {
+				if it.kind == kindGaugeFunc {
+					sample(name, it.labels, fv(it.fn()))
+				} else {
+					sample(name, it.labels, strconv.FormatInt(it.gauge.Value(), 10))
+				}
+			}
+		case kindSketch:
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s summary\n", name, group[0].help, name)
+			for _, it := range group {
+				for _, q := range sketchQuantiles {
+					ql := fmt.Sprintf("quantile=%q", strconv.FormatFloat(q, 'g', -1, 64))
+					if it.labels != "" {
+						ql = it.labels + "," + ql
+					}
+					sample(name, ql, fv(it.sketch.Quantile(q)))
+				}
+				sample(name+"_sum", it.labels, fv(it.sketch.Sum()))
+				sample(name+"_count", it.labels, strconv.FormatInt(it.sketch.Count(), 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?$`)
+	promTypes    = map[string]bool{"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true}
+)
+
+// ValidatePrometheus checks that r is well-formed Prometheus text
+// exposition format: HELP/TYPE comment syntax, known metric types, legal
+// metric names, parseable sample values, and every sample preceded by a
+// TYPE declaration for its family (accounting for the _sum/_count/_bucket
+// and _total suffixes summaries, histograms and counters add). It is the
+// checker behind the golden-format test and `slireport -validate-metrics`.
+func ValidatePrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	typed := map[string]string{}
+	line := 0
+	samples := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case strings.TrimSpace(text) == "":
+			continue
+		case strings.HasPrefix(text, "# HELP "):
+			f := strings.Fields(text)
+			if len(f) < 3 || !promNameRe.MatchString(f[2]) {
+				return fmt.Errorf("line %d: malformed HELP comment %q", line, text)
+			}
+		case strings.HasPrefix(text, "# TYPE "):
+			f := strings.Fields(text)
+			if len(f) != 4 || !promNameRe.MatchString(f[2]) {
+				return fmt.Errorf("line %d: malformed TYPE comment %q", line, text)
+			}
+			if !promTypes[f[3]] {
+				return fmt.Errorf("line %d: unknown metric type %q", line, f[3])
+			}
+			typed[f[2]] = f[3]
+		case strings.HasPrefix(text, "#"):
+			continue // free-form comment
+		default:
+			m := promSampleRe.FindStringSubmatch(text)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed sample line %q", line, text)
+			}
+			if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+				if m[3] != "+Inf" && m[3] != "-Inf" && m[3] != "NaN" {
+					return fmt.Errorf("line %d: unparseable sample value %q", line, m[3])
+				}
+			}
+			name := m[1]
+			family := name
+			for _, suf := range []string{"_sum", "_count", "_bucket"} {
+				if strings.HasSuffix(name, suf) {
+					if _, ok := typed[strings.TrimSuffix(name, suf)]; ok {
+						family = strings.TrimSuffix(name, suf)
+					}
+				}
+			}
+			if _, ok := typed[family]; !ok {
+				return fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", line, name)
+			}
+			samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples found")
+	}
+	return nil
+}

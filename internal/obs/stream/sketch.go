@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sketch parameters. The bucket for a positive value v is
+// floor(log(v/sketchMin) / log(sketchGamma)), so consecutive bucket
+// boundaries grow by gamma and a quantile estimated at a bucket's geometric
+// midpoint is within (gamma-1)/2 ≈ 2% relative error of the true empirical
+// quantile. The layout is fixed (not adaptive), which is what makes two
+// sketches mergeable by adding counts bucket-for-bucket.
+const (
+	sketchMin   = 1e-6 // smallest distinguishable value (1 µs when observing seconds)
+	sketchMax   = 1e6  // values above clamp into the top bucket
+	sketchGamma = 1.04
+)
+
+// sketchBuckets is ceil(log(max/min)/log(gamma)) + 1, computed once.
+var (
+	sketchLnGamma = math.Log(sketchGamma)
+	sketchBuckets = int(math.Ceil(math.Log(sketchMax/sketchMin)/sketchLnGamma)) + 1
+)
+
+// Sketch is a streaming quantile estimator over positive values: a fixed
+// log-bucket histogram (log base sketchGamma, range [sketchMin, sketchMax])
+// with atomic counts, an atomic observation count, and an atomic float sum.
+// Observe is lock-free and allocation-free; Quantile and Merge may run
+// concurrently with writers. Values <= sketchMin land in the bottom bucket
+// and values >= sketchMax in the top one, so the estimate degrades to a
+// range clamp instead of failing outside the design range.
+type Sketch struct {
+	name   string
+	help   string
+	labels string
+	counts []atomic.Int64
+	n      atomic.Int64
+	sumBit atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewSketch returns an empty sketch with the package-fixed layout. Sketches
+// created by Set.Sketch are registered for /metrics; bare sketches are for
+// merging and tests.
+func NewSketch() *Sketch {
+	return &Sketch{counts: make([]atomic.Int64, sketchBuckets)}
+}
+
+// bucketOf maps a value to its bucket index, clamping into [0, buckets-1].
+func bucketOf(v float64) int {
+	if v <= sketchMin {
+		return 0
+	}
+	i := int(math.Log(v/sketchMin) / sketchLnGamma)
+	if i >= sketchBuckets {
+		i = sketchBuckets - 1
+	}
+	return i
+}
+
+// bucketMid is the geometric midpoint of bucket i — the value a quantile
+// landing in the bucket is reported as.
+func bucketMid(i int) float64 {
+	return sketchMin * math.Pow(sketchGamma, float64(i)+0.5)
+}
+
+// Observe records one value. NaN and negative values are dropped.
+func (s *Sketch) Observe(v float64) {
+	if s == nil || v != v || v < 0 {
+		return
+	}
+	s.counts[bucketOf(v)].Add(1)
+	s.n.Add(1)
+	for {
+		old := s.sumBit.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBit.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; Sum their total.
+func (s *Sketch) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.n.Load()
+}
+
+// Sum returns the total of all observed values.
+func (s *Sketch) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.sumBit.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of everything observed so
+// far, to within the sketch's relative-error bound. It returns 0 on an
+// empty sketch; q outside [0, 1] is clamped. The rank convention matches
+// the empirical quantile (nearest-rank on the bucketed distribution), so it
+// converges to stats.Quantile as samples accumulate.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	n := s.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(n-1)) + 1 // 1-based rank of the target order statistic
+	var seen int64
+	for i := range s.counts {
+		seen += s.counts[i].Load()
+		if seen >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(sketchBuckets - 1)
+}
+
+// Merge folds other's observations into s (bucket-for-bucket; both sketches
+// share the package-fixed layout). Merging a nil other is a no-op.
+func (s *Sketch) Merge(other *Sketch) {
+	if s == nil || other == nil {
+		return
+	}
+	for i := range s.counts {
+		if d := other.counts[i].Load(); d != 0 {
+			s.counts[i].Add(d)
+		}
+	}
+	if d := other.n.Load(); d != 0 {
+		s.n.Add(d)
+	}
+	if d := other.Sum(); d != 0 {
+		for {
+			old := s.sumBit.Load()
+			next := math.Float64bits(math.Float64frombits(old) + d)
+			if s.sumBit.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+}
+
+// RelativeErrorBound is the sketch's worst-case relative error for
+// quantiles of values inside [sketchMin, sketchMax]: half a bucket's
+// geometric width. Tests assert accuracy against exact type-7 quantiles
+// within this bound (plus the type-7 interpolation discrepancy).
+func RelativeErrorBound() float64 { return (sketchGamma - 1) / 2 }

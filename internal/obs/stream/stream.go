@@ -1,0 +1,274 @@
+// Package stream provides wall-clock-safe streaming instruments for the
+// execution paths that do not run on the deterministic virtual clock: the
+// live backend's CN/DPN goroutines and the sweep engine's worker pool.
+// Where internal/obs records a run for post-hoc export, stream answers
+// "what is happening right now" — sliding-window rates, point-in-time
+// gauges, and a mergeable log-bucket quantile sketch — and renders the
+// current state as Prometheus text for the /metrics endpoint
+// (internal/obs/serve).
+//
+// Design constraints, in order:
+//
+//   - Hot-path updates (Rate.Add, Gauge.Set/Add, Sketch.Observe) are
+//     lock-free (sync/atomic only) and allocation-free, so a DPN goroutine
+//     can update them every service quantum.
+//   - The nil receiver is the disabled instrument, following the
+//     internal/obs registry discipline: a nil *Set hands out nil
+//     instruments and every method on them returns immediately, so
+//     telemetry-off costs one nil check per call site.
+//   - Reads (Value, RatePerSec, Quantile, WritePrometheus) may run on any
+//     goroutine concurrently with writers; they see a consistent-enough
+//     snapshot for monitoring (per-field atomicity, no cross-field
+//     transactions).
+//
+// Registration (Set.Rate/Gauge/GaugeFunc/Sketch) allocates and takes a
+// lock; it is meant for setup, before the hot path starts.
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batchsched/internal/sim"
+)
+
+// Rate is a sliding-window event counter: a cumulative total plus a ring of
+// per-slot counts covering the trailing window, from which RatePerSec
+// estimates the current event rate. Slots are claimed by epoch with a CAS;
+// under write contention a slot reset may drop a handful of events from the
+// window estimate (never from the total), which is fine for monitoring.
+type Rate struct {
+	name   string
+	help   string
+	labels string
+	slotUS int64 // slot width in sim.Time microseconds
+	total  atomic.Int64
+	slots  []rateSlot
+}
+
+type rateSlot struct {
+	epoch atomic.Int64 // slot generation: now/slotUS when last written
+	n     atomic.Int64
+}
+
+// Add counts n events at clock reading now.
+func (r *Rate) Add(now sim.Time, n int64) {
+	if r == nil {
+		return
+	}
+	r.total.Add(n)
+	epoch := int64(now) / r.slotUS
+	s := &r.slots[epoch%int64(len(r.slots))]
+	for {
+		old := s.epoch.Load()
+		if old == epoch {
+			break
+		}
+		if s.epoch.CompareAndSwap(old, epoch) {
+			s.n.Store(0)
+			break
+		}
+	}
+	s.n.Add(n)
+}
+
+// Total returns the cumulative event count (0 on nil).
+func (r *Rate) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// RatePerSec estimates events per second over the trailing window ending at
+// now, counting only slots whose epoch falls inside the window.
+func (r *Rate) RatePerSec(now sim.Time) float64 {
+	if r == nil {
+		return 0
+	}
+	cur := int64(now) / r.slotUS
+	var n int64
+	for i := range r.slots {
+		if e := r.slots[i].epoch.Load(); e > cur-int64(len(r.slots)) && e <= cur {
+			n += r.slots[i].n.Load()
+		}
+	}
+	window := float64(r.slotUS*int64(len(r.slots))) / 1e6
+	return float64(n) / window
+}
+
+// Gauge is an atomic point-in-time integer (queue depth, active count,
+// cumulative busy microseconds). The nil Gauge absorbs updates.
+type Gauge struct {
+	name   string
+	help   string
+	labels string
+	v      atomic.Int64
+}
+
+// Set stores v; Add increments by d; Value reads (0 on nil).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add increments the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current reading (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Set is a named registry of streaming instruments. The zero value is
+// usable; the nil *Set is the disabled registry (constructors return nil
+// instruments, WritePrometheus writes nothing).
+type Set struct {
+	mu    sync.Mutex
+	items []item
+}
+
+type kind int
+
+const (
+	kindRate kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindSketch
+)
+
+type item struct {
+	kind   kind
+	name   string
+	help   string
+	labels string
+	rate   *Rate
+	gauge  *Gauge
+	fn     func() float64
+	sketch *Sketch
+}
+
+// NewSet returns an enabled instrument registry.
+func NewSet() *Set { return &Set{} }
+
+// Enabled reports whether the set records anything (false on nil).
+func (s *Set) Enabled() bool { return s != nil }
+
+// labelString pre-renders "k1=\"v1\",k2=\"v2\"" from alternating key/value
+// pairs, so the hot path never formats labels.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("stream: label key/value pairs must alternate")
+	}
+	out := ""
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", kv[i], kv[i+1])
+	}
+	return out
+}
+
+// Rate registers a sliding-window rate counter covering the trailing
+// window, split into window/slot slots. Optional alternating label
+// key/value pairs distinguish instances of the same name.
+func (s *Set) Rate(name, help string, window, slot time.Duration, labels ...string) *Rate {
+	if s == nil {
+		return nil
+	}
+	if slot <= 0 {
+		slot = time.Second
+	}
+	n := int(window / slot)
+	if n < 1 {
+		n = 1
+	}
+	r := &Rate{
+		name: name, help: help, labels: labelString(labels),
+		slotUS: int64(slot / time.Microsecond),
+		slots:  make([]rateSlot, n),
+	}
+	s.add(item{kind: kindRate, name: name, help: help, labels: r.labels, rate: r})
+	return r
+}
+
+// Gauge registers an atomic gauge.
+func (s *Set) Gauge(name, help string, labels ...string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	g := &Gauge{name: name, help: help, labels: labelString(labels)}
+	s.add(item{kind: kindGauge, name: name, help: help, labels: g.labels, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a callback gauge sampled at render time. fn runs on
+// the scrape goroutine and must be safe to call concurrently with the run
+// (read atomics, not plain fields).
+func (s *Set) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if s == nil {
+		return
+	}
+	s.add(item{kind: kindGaugeFunc, name: name, help: help, labels: labelString(labels), fn: fn})
+}
+
+// Sketch registers a streaming quantile sketch (see NewSketch).
+func (s *Set) Sketch(name, help string, labels ...string) *Sketch {
+	if s == nil {
+		return nil
+	}
+	sk := NewSketch()
+	sk.name, sk.help, sk.labels = name, help, labelString(labels)
+	s.add(item{kind: kindSketch, name: name, help: help, labels: sk.labels, sketch: sk})
+	return sk
+}
+
+func (s *Set) add(it item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.items {
+		if have.name == it.name && have.labels == it.labels {
+			panic(fmt.Sprintf("stream: duplicate instrument %s{%s}", it.name, it.labels))
+		}
+	}
+	s.items = append(s.items, it)
+}
+
+// snapshot copies the registration list so rendering never holds the lock
+// while formatting.
+func (s *Set) snapshot() []item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]item(nil), s.items...)
+}
+
+// familyOrder returns the distinct metric families in first-registration
+// order — the deterministic render order of WritePrometheus.
+func familyOrder(items []item) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, it := range items {
+		if !seen[it.name] {
+			seen[it.name] = true
+			names = append(names, it.name)
+		}
+	}
+	return names
+}
+
+// sketchQuantiles are the quantiles exported for every sketch, ascending.
+var sketchQuantiles = []float64{0.5, 0.9, 0.95, 0.99}

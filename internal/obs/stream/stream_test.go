@@ -1,0 +1,231 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"batchsched/internal/sim"
+	"batchsched/internal/stats"
+)
+
+func TestRateTotalAndWindow(t *testing.T) {
+	s := NewSet()
+	r := s.Rate("events", "test events", 10*time.Second, time.Second)
+
+	// 5 events per second for 20 virtual seconds.
+	for sec := 0; sec < 20; sec++ {
+		for i := 0; i < 5; i++ {
+			r.Add(sim.Time(sec)*sim.Second+sim.Time(i), 1)
+		}
+	}
+	if got := r.Total(); got != 100 {
+		t.Fatalf("Total = %d, want 100", got)
+	}
+	// Query inside the last written slot: the trailing window then covers
+	// exactly the 10 most recent filled slots.
+	now := 20*sim.Second - 1
+	if got := r.RatePerSec(now); math.Abs(got-5) > 0.01 {
+		t.Fatalf("RatePerSec = %v, want ~5", got)
+	}
+	// 15 idle seconds later, the whole window has aged out.
+	if got := r.RatePerSec(now + 15*sim.Second); got != 0 {
+		t.Fatalf("RatePerSec after idle window = %v, want 0", got)
+	}
+}
+
+func TestRateBurstWithinWindow(t *testing.T) {
+	s := NewSet()
+	r := s.Rate("burst", "burst", 10*time.Second, time.Second)
+	r.Add(3*sim.Second, 40)
+	// The burst stays in the 10s window: 40 events / 10 s.
+	if got := r.RatePerSec(4 * sim.Second); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("RatePerSec = %v, want 4", got)
+	}
+	// Once the slot ages out, the rate drops to zero; the total never does.
+	if got := r.RatePerSec(30 * sim.Second); got != 0 {
+		t.Fatalf("aged RatePerSec = %v, want 0", got)
+	}
+	if got := r.Total(); got != 40 {
+		t.Fatalf("Total = %d, want 40", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	s := NewSet()
+	g := s.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(3)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("Value = %d, want 10", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var s *Set
+	if s.Enabled() {
+		t.Fatal("nil Set reports Enabled")
+	}
+	r := s.Rate("x", "x", time.Second, time.Second)
+	g := s.Gauge("y", "y")
+	sk := s.Sketch("z", "z")
+	s.GaugeFunc("f", "f", func() float64 { return 1 })
+	if r != nil || g != nil || sk != nil {
+		t.Fatal("nil Set handed out non-nil instruments")
+	}
+	r.Add(0, 1)
+	g.Set(1)
+	g.Add(1)
+	sk.Observe(1)
+	if r.Total() != 0 || r.RatePerSec(0) != 0 || g.Value() != 0 ||
+		sk.Count() != 0 || sk.Sum() != 0 || sk.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments returned non-zero readings")
+	}
+	var buf countingWriter
+	if err := s.WritePrometheus(&buf, 0); err != nil || buf.n != 0 {
+		t.Fatalf("nil Set wrote %d bytes (err %v), want nothing", buf.n, err)
+	}
+}
+
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+// TestHotPathAllocationFree is the live-backend hot-path contract: updating
+// streaming instruments must not allocate, enabled or disabled.
+func TestHotPathAllocationFree(t *testing.T) {
+	s := NewSet()
+	r := s.Rate("events", "e", 10*time.Second, time.Second)
+	g := s.Gauge("depth", "d")
+	sk := s.Sketch("rt", "r")
+	var now sim.Time
+	if allocs := testing.AllocsPerRun(1000, func() {
+		now += sim.Millisecond
+		r.Add(now, 1)
+		g.Set(int64(now))
+		g.Add(1)
+		sk.Observe(float64(now) / 1e6)
+	}); allocs != 0 {
+		t.Fatalf("enabled hot path allocates %.1f per op, want 0", allocs)
+	}
+
+	var nilR *Rate
+	var nilG *Gauge
+	var nilSk *Sketch
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nilR.Add(1, 1)
+		nilG.Set(1)
+		nilSk.Observe(1)
+	}); allocs != 0 {
+		t.Fatalf("disabled hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSketchAccuracy checks the streaming quantile sketch against the exact
+// type-7 estimator from internal/stats on distributions like the ones it
+// will see (response times spanning milliseconds to minutes).
+func TestSketchAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return 0.5 + 99.5*rng.Float64() },
+		"exp":       func() float64 { return rng.ExpFloat64() * 3 },
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64() * 1.5) },
+	}
+	for name, draw := range dists {
+		sk := NewSketch()
+		xs := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := draw()
+			sk.Observe(v)
+			xs = append(xs, v)
+		}
+		sort.Float64s(xs)
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			exact := stats.QuantileSorted(xs, q)
+			got := sk.Quantile(q)
+			// The sketch guarantees its relative-error bound against the
+			// bucketed empirical quantile; type-7 interpolation adds at most
+			// about one more bucket of discrepancy at these sample sizes.
+			tol := 3 * RelativeErrorBound() * exact
+			if math.Abs(got-exact) > tol {
+				t.Errorf("%s q%.2f: sketch %.4f vs exact %.4f (tol %.4f)",
+					name, q, got, exact, tol)
+			}
+		}
+		if got, want := sk.Count(), int64(20000); got != want {
+			t.Errorf("%s: Count = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	sk := NewSketch()
+	if got := sk.Quantile(0.5); got != 0 {
+		t.Fatalf("empty sketch Quantile = %v, want 0", got)
+	}
+	sk.Observe(math.NaN())
+	sk.Observe(-1)
+	if sk.Count() != 0 {
+		t.Fatalf("NaN/negative observations were counted")
+	}
+	sk.Observe(0) // below sketchMin: clamps to the bottom bucket
+	sk.Observe(1e9)
+	if sk.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", sk.Count())
+	}
+	if q := sk.Quantile(0); q > sketchMin*sketchGamma {
+		t.Fatalf("bottom-clamped quantile = %v, want ~%v", q, sketchMin)
+	}
+	if q := sk.Quantile(1); q < sketchMax/sketchGamma {
+		t.Fatalf("top-clamped quantile = %v, want ~%v", q, sketchMax)
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	a, b := NewSketch(), NewSketch()
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(b)
+	if got := a.Count(); got != 200 {
+		t.Fatalf("merged Count = %d, want 200", got)
+	}
+	if got, want := a.Sum(), 200.0*201/2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merged Sum = %v, want %v", got, want)
+	}
+	exact := 100.5 // median of 1..200
+	if got := a.Quantile(0.5); math.Abs(got-exact) > 3*RelativeErrorBound()*exact {
+		t.Fatalf("merged median = %v, want ~%v", got, exact)
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 200 {
+		t.Fatal("Merge(nil) changed the sketch")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	s := NewSet()
+	s.Gauge("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	s.Gauge("dup", "second")
+}
+
+func TestLabelledInstrumentsCoexist(t *testing.T) {
+	s := NewSet()
+	g0 := s.Gauge("queue", "q", "node", "0")
+	g1 := s.Gauge("queue", "q", "node", "1")
+	g0.Set(3)
+	g1.Set(9)
+	if g0.Value() != 3 || g1.Value() != 9 {
+		t.Fatal("labelled instances share state")
+	}
+}
