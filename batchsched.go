@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 
+	"batchsched/internal/admit"
 	"batchsched/internal/engine/live"
 	"batchsched/internal/experiments"
 	"batchsched/internal/fault"
@@ -275,6 +276,81 @@ func NewMixedWorkload(batch Generator, numFiles int, shortFraction, shortCost fl
 	}
 }
 
+// WithHeavyTail wraps a workload with a per-transaction unit-mean Pareto
+// cost multiplier of shape alpha (> 1; smaller = heavier tail), capped at
+// 100x: most transactions shrink slightly, a few grow enormously — the
+// heavy-tailed cost mix of real batch traffic.
+func WithHeavyTail(gen Generator, alpha float64) Generator {
+	return workload.NewHeavyTailed(gen.(workload.Generator), alpha, 0)
+}
+
+// Arrivals is an open arrival process (Config.Arrivals and service mode):
+// nil keeps the paper's homogeneous Poisson at Config.ArrivalRate. See
+// NewPoissonArrivals, NewDiurnalArrivals, NewBurstArrivals and
+// NewTraceArrivals.
+type Arrivals = workload.Arrivals
+
+// NewPoissonArrivals returns the paper's homogeneous Poisson arrival
+// process at rate transactions per second.
+func NewPoissonArrivals(rate float64) Arrivals { return workload.Poisson{Rate: rate} }
+
+// NewDiurnalArrivals returns a sinusoidally-modulated Poisson process:
+// lambda(t) = base*(1 + amplitude*sin(2*pi*t/period)) with amplitude in
+// [0, 1) — the day/night load shape.
+func NewDiurnalArrivals(base, amplitude float64, period Time) Arrivals {
+	return workload.NewDiurnal(base, amplitude, period)
+}
+
+// NewBurstArrivals returns a two-state Markov-modulated Poisson process:
+// base rate normally, base*factor during bursts, with exponential state
+// sojourns of the given means — flash-crowd traffic.
+func NewBurstArrivals(base, factor float64, meanQuiet, meanBurst Time) Arrivals {
+	return workload.NewBurst(base, factor, meanQuiet, meanBurst)
+}
+
+// NewTraceArrivals replays a fixed inter-arrival gap sequence, cycling when
+// exhausted (deterministic-trace arrivals).
+func NewTraceArrivals(gaps []Time) Arrivals { return workload.NewTrace(gaps) }
+
+// AdmitPolicy is the streaming-admission/backpressure policy of service mode
+// (Config.Service; see internal/admit): admission window, epoch cadence,
+// bounded queue, per-class sojourn SLOs, and overload control.
+type AdmitPolicy = admit.Policy
+
+// EpochStats is one admission epoch's service snapshot, delivered to the
+// epoch hook of a service-mode run.
+type EpochStats = admit.EpochStats
+
+// DefaultAdmitPolicy returns the default streaming-admission policy: an
+// 8-wide window, 500 ms epochs, a 256-entry queue, 20% interactive traffic,
+// overdue shedding, and overload control at a 30 s sojourn p95.
+func DefaultAdmitPolicy() AdmitPolicy { return admit.DefaultPolicy() }
+
+// RunService runs the simulator in streaming-admission service mode:
+// cfg.Service must carry the admission policy and the run needs an arrival
+// process (cfg.Arrivals, or the Poisson at cfg.ArrivalRate). Arrivals flow
+// through the bounded deadline-ordered admission queue; the epoch loop
+// admits them into the policy's in-flight window and sheds load under
+// backpressure. epochHook, if non-nil, receives every epoch's snapshot (for
+// per-epoch SLI ledger lines and gauges). Deterministic in the seed.
+func RunService(cfg Config, scheduler string, params Params, gen Generator, seed int64, epochHook func(EpochStats)) (Summary, error) {
+	if cfg.Service == nil {
+		return Summary{}, fmt.Errorf("batchsched: RunService needs cfg.Service (the admission policy)")
+	}
+	s, err := sched.New(scheduler, params)
+	if err != nil {
+		return Summary{}, err
+	}
+	m, err := machine.New(cfg, s, gen, sim.NewRNG(seed))
+	if err != nil {
+		return Summary{}, err
+	}
+	if epochHook != nil {
+		m.SetEpochHook(epochHook)
+	}
+	return m.Run(), nil
+}
+
 // NewFixedWorkload replays one pattern with a fixed file binding, e.g.
 //
 //	gen, err := batchsched.NewFixedWorkload("Xr(F1:1)->w(F1:0.2)",
@@ -345,14 +421,12 @@ func DefaultLiveConfig() LiveConfig { return live.DefaultConfig() }
 
 // GenerateBatch pre-draws the steps of n transactions from gen, so the
 // identical batch can be submitted to both backends (transaction i is
-// byte-identical regardless of backend).
+// byte-identical regardless of backend). It is the closed-batch entry of
+// the shared workload.Source draw path: an open-stream service run over the
+// same generator and seed sees byte-identical transaction i.
 func GenerateBatch(gen Generator, seed int64, n int) [][]Step {
-	rng := sim.NewRNG(seed).Stream("workload")
-	out := make([][]Step, n)
-	for i := range out {
-		out[i] = gen.Steps(rng)
-	}
-	return out
+	src := workload.Source{Gen: gen.(workload.Generator)}
+	return src.DrawBatch(sim.NewRNG(seed).Stream("workload"), n)
 }
 
 // RunLiveBatch executes a closed batch on the live backend: every

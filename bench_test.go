@@ -9,6 +9,7 @@ import (
 
 	"batchsched/internal/experiments"
 	"batchsched/internal/machine"
+	"batchsched/internal/obs/sli"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 )
@@ -171,6 +172,42 @@ func BenchmarkRunC2PL(b *testing.B) { benchOneRun(b, "C2PL", 0.08) }
 // BenchmarkRunOPT measures a run under optimistic locking (includes
 // restart churn).
 func BenchmarkRunOPT(b *testing.B) { benchOneRun(b, "OPT", 0.05) }
+
+// BenchmarkSustainedTPSAtSLO runs the service-mode capacity probe per
+// iteration — bisecting the open arrival rate for the largest sustained
+// throughput that still meets the default service SLO on a reduced GOW point
+// — and reports the solved rate as sustained_tps_at_slo. The figure is
+// tracked in BENCH_core.json and gated by benchjson -compare (higher is
+// better, like events/sec/core), so a scheduler or admission change that
+// quietly erodes open-stream capacity fails CI even when ns/op is flat.
+func BenchmarkSustainedTPSAtSLO(b *testing.B) {
+	pol := DefaultAdmitPolicy()
+	pol.MPL = 4
+	p := experiments.Point{
+		Scheduler: "GOW",
+		NumFiles:  16,
+		DD:        1,
+		Load:      experiments.Exp1,
+		Seed:      1,
+		Reps:      1,
+		Duration:  100_000 * sim.Millisecond,
+		Service:   &pol,
+	}
+	spec := sli.ServiceDefault()
+	b.ReportAllocs()
+	var tps float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ServiceCapacity(p, spec, 1, 0.05, 0.5, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed {
+			b.Fatal("no sustained rate inside the bracket")
+		}
+		tps = res.SustainedTPS
+	}
+	b.ReportMetric(tps, "sustained_tps_at_slo")
+}
 
 // BenchmarkObsOverhead runs the same simulation twice per iteration — once
 // bare and once with the full observability layer attached (spans, registry

@@ -51,6 +51,21 @@ func main() {
 		traceFile = flag.String("trace", "", "write a JSONL execution trace to this file (single rep only)")
 		asJSON    = flag.Bool("json", false, "print the summary as JSON")
 
+		service     = flag.Bool("service", false, "streaming-admission service mode: open arrivals through a bounded admission window with backpressure and load shedding (both backends; see DESIGN.md §15)")
+		arrival     = flag.String("arrival", "poisson", "service mode: arrival process at -lambda: poisson, diurnal or burst")
+		heavytail   = flag.Float64("heavytail", 0, "heavy-tail the workload's step costs with Pareto tail index alpha (0 = off; smaller alpha = heavier tail)")
+		serviceDur  = flag.Duration("service-duration", 2*time.Second, "live service mode: wall-clock arrival span (the run then drains)")
+		epochFlag   = flag.Duration("epoch", 0, "service mode: admission epoch cadence (0 = policy default 500ms)")
+		maxQueue    = flag.Int("max-queue", 0, "service mode: admission queue bound (0 = policy default 256)")
+		interactive = flag.Float64("interactive", -1, "service mode: interactive arrival fraction (-1 = policy default 0.2)")
+		sloBatch    = flag.Duration("slo-batch", -1, "service mode: batch-class admission-sojourn SLO (0 = no deadline; -1 = policy default 120s)")
+		sloInter    = flag.Duration("slo-interactive", -1, "service mode: interactive-class admission-sojourn SLO (0 = no deadline; -1 = policy default 10s)")
+		overloadP95 = flag.Duration("overload-p95", -1, "service mode: admission-sojourn p95 that trips overload shedding (0 = off; -1 = policy default 30s)")
+		capacity    = flag.Bool("capacity", false, "service mode, sim backend: bisect the arrival rate for sustained-TPS-at-SLO instead of one run at -lambda")
+		capLo       = flag.Float64("cap-lo", 0.05, "-capacity: bisection bracket floor, TPS")
+		capHi       = flag.Float64("cap-hi", 2.0, "-capacity: bisection bracket ceiling, TPS")
+		capTol      = flag.Float64("cap-tol", 0.05, "-capacity: bisection tolerance, TPS")
+
 		serveAddr   = flag.String("serve", "", "serve live telemetry at this address (host:port; :0 picks a port): /metrics, /healthz, /slo, /debug/pprof; requires -backend live")
 		serveLinger = flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run completes (for external scrapers)")
 		sliLedger   = flag.String("sli-ledger", "", "append one SLI ledger line (JSONL, see internal/obs/sli) for the run to this file")
@@ -168,6 +183,26 @@ func main() {
 	}
 	if *sigma > 0 {
 		gen = batchsched.WithCostError(gen, *sigma)
+	}
+	if *heavytail > 0 {
+		gen = batchsched.WithHeavyTail(gen, *heavytail)
+	}
+
+	if *service {
+		os.Exit(runServiceMode(serviceRun{
+			backend: *backend, sched: *schedName, params: params, gen: gen, cfg: cfg,
+			wl: *wl, lambda: *lambda, seed: *seed, reps: *reps, asJSON: *asJSON,
+			check: *check, compare: *compare, heavytail: *heavytail,
+			numNodes: *numNodes, numFiles: *numFiles, dd: *dd, rows: *rows,
+			pace: *pace, restartDelay: *restartDelay,
+			arrival: *arrival, duration: *serviceDur, epoch: *epochFlag,
+			maxQueue: *maxQueue, interactive: *interactive,
+			sloBatch: *sloBatch, sloInteractive: *sloInter, overloadP95: *overloadP95,
+			mpl:      *mpl,
+			capacity: *capacity, capLo: *capLo, capHi: *capHi, capTol: *capTol,
+			ledger: *sliLedger, specPath: *sloSpec,
+			serveAddr: *serveAddr, linger: *serveLinger,
+		}))
 	}
 
 	if *compare {

@@ -1,0 +1,372 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"batchsched"
+	"batchsched/internal/admit"
+	"batchsched/internal/experiments"
+	"batchsched/internal/metrics"
+	"batchsched/internal/obs/serve"
+	"batchsched/internal/obs/sli"
+	"batchsched/internal/sim"
+)
+
+// serviceRun carries every flag the streaming-admission mode consumes; main
+// assembles it and exits with runServiceMode's code.
+type serviceRun struct {
+	backend string
+	sched   string
+	params  batchsched.Params
+	gen     batchsched.Generator
+	cfg     batchsched.Config // sim-backend machine config (duration, files, DD, ...)
+
+	wl        string
+	lambda    float64
+	seed      int64
+	reps      int
+	asJSON    bool
+	check     bool
+	compare   bool
+	heavytail float64
+
+	// Live-backend shape.
+	numNodes, numFiles, dd, rows int
+	pace                         time.Duration
+	restartDelay                 float64
+
+	// Policy knobs (negative durations = keep the policy default).
+	arrival        string
+	duration       time.Duration // live wall-clock arrival span
+	epoch          time.Duration
+	maxQueue       int
+	interactive    float64
+	sloBatch       time.Duration
+	sloInteractive time.Duration
+	overloadP95    time.Duration
+	mpl            int
+
+	capacity             bool
+	capLo, capHi, capTol float64
+
+	ledger, specPath string
+	serveAddr        string
+	linger           time.Duration
+}
+
+// simDur converts a wall flag duration onto the policy clock (sim.Time is
+// microseconds on both backends).
+func simDur(d time.Duration) sim.Time { return sim.Time(d / time.Microsecond) }
+
+// policy assembles the admission policy from the flags over the default.
+// -mpl sizes the admission window here (the open-system analogue of the
+// C2PL+M admission limit), matching the sweep grid's reinterpretation.
+func (f serviceRun) policy() (batchsched.AdmitPolicy, error) {
+	pol := batchsched.DefaultAdmitPolicy()
+	if f.mpl > 0 {
+		pol.MPL = f.mpl
+	}
+	if f.epoch > 0 {
+		pol.Epoch = simDur(f.epoch)
+	}
+	if f.maxQueue > 0 {
+		pol.MaxQueue = f.maxQueue
+	}
+	if f.interactive >= 0 {
+		pol.InteractiveFraction = f.interactive
+	}
+	if f.sloBatch >= 0 {
+		pol.QueueSLO[admit.Batch] = simDur(f.sloBatch)
+	}
+	if f.sloInteractive >= 0 {
+		pol.QueueSLO[admit.Interactive] = simDur(f.sloInteractive)
+	}
+	if f.overloadP95 >= 0 {
+		pol.OverloadP95 = simDur(f.overloadP95)
+	}
+	return pol, pol.Validate()
+}
+
+// serviceSpec resolves the SLO spec for service runs: the open-stream
+// default (with the shed-rate ceiling) unless -slo-spec overrides it.
+func serviceSpec(path string) (sli.Spec, error) {
+	if path == "" {
+		return sli.ServiceDefault(), nil
+	}
+	return sli.Load(path)
+}
+
+// runServiceMode dispatches -service to the chosen backend and returns the
+// process exit code.
+func runServiceMode(f serviceRun) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+		return 1
+	}
+	switch {
+	case f.compare:
+		return fail(fmt.Errorf("-service is incompatible with -compare"))
+	case f.check:
+		return fail(fmt.Errorf("-service does not support -check (evictions abort transactions mid-history)"))
+	case f.lambda <= 0:
+		return fail(fmt.Errorf("-service needs -lambda > 0 (the offered arrival rate)"))
+	case f.capacity && f.backend != "sim":
+		return fail(fmt.Errorf("-capacity bisects many runs and requires -backend sim"))
+	case f.capacity && f.heavytail > 0:
+		return fail(fmt.Errorf("-capacity does not support -heavytail (the capacity point is workload-flag driven)"))
+	}
+	pol, err := f.policy()
+	if err != nil {
+		return fail(err)
+	}
+	if f.capacity {
+		return runServiceCapacity(f, pol, fail)
+	}
+	switch f.backend {
+	case "sim":
+		return runServiceSim(f, pol, fail)
+	case "live":
+		return runServiceLive(f, pol, fail)
+	default:
+		return fail(fmt.Errorf("unknown backend %q (want sim or live)", f.backend))
+	}
+}
+
+// runServiceSim runs the virtual-clock service: -reps replications on seeds
+// seed..seed+reps-1 (fresh arrival process each — burst is stateful),
+// averaged; the epoch trail and ledger lines describe the first replication.
+func runServiceSim(f serviceRun, pol batchsched.AdmitPolicy, fail func(error) int) int {
+	cfg := f.cfg
+	cfg.Service = &pol
+	cfg.MPL = 0
+	cfg.ArrivalRate = f.lambda
+	var epochs []batchsched.EpochStats
+	var sums []batchsched.Summary
+	reps := f.reps
+	if reps < 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		arr, aerr := experiments.ArrivalProcess(f.arrival, f.lambda)
+		if aerr != nil {
+			return fail(aerr)
+		}
+		cfg.Arrivals = arr
+		hook := func(batchsched.EpochStats) {}
+		if r == 0 {
+			hook = func(es batchsched.EpochStats) { epochs = append(epochs, es) }
+		}
+		sum, err := batchsched.RunService(cfg, f.sched, f.params, f.gen, f.seed+int64(r), hook)
+		if err != nil {
+			return fail(err)
+		}
+		sums = append(sums, sum)
+	}
+	avg, _ := metrics.AverageWithCI(sums)
+	if f.ledger != "" {
+		if err := appendServiceLedger(f, "sim", sums[0], epochs); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "batchsim: %d SLI ledger line(s) appended to %s\n", 1+len(epochs), f.ledger)
+	}
+	return printService(f, fmt.Sprintf("sim, %.0f s virtual, %d rep(s)", cfg.Duration.Seconds(), reps), avg, epochs)
+}
+
+// runServiceLive runs the wall-clock service on the live backend, with the
+// /metrics//slo endpoint up for the duration when -serve is set.
+func runServiceLive(f serviceRun, pol batchsched.AdmitPolicy, fail func(error) int) int {
+	lcfg := batchsched.DefaultLiveConfig()
+	lcfg.NumNodes = f.numNodes
+	lcfg.NumFiles = f.numFiles
+	lcfg.DD = f.dd
+	if f.rows > 0 {
+		lcfg.RowsPerObject = f.rows
+	}
+	lcfg.PacePerObject = f.pace
+	lcfg.RestartDelay = 2 * time.Millisecond
+	lcfg.RestartJitter = true
+	if f.restartDelay > 0 {
+		lcfg.RestartDelay = time.Duration(f.restartDelay * float64(time.Second))
+	}
+	lcfg.Service = &pol
+	lcfg.ServiceDuration = f.duration
+	b, err := batchsched.NewLiveBackend(lcfg, f.sched, f.params)
+	if err != nil {
+		return fail(err)
+	}
+	set := batchsched.NewStreamSet()
+	b.SetStream(set)
+	var epochs []batchsched.EpochStats
+	b.SetEpochHook(func(es batchsched.EpochStats) { epochs = append(epochs, es) })
+
+	if f.serveAddr != "" {
+		srv := serve.New()
+		srv.AddMetrics(func(w http.ResponseWriter) error { return set.WritePrometheus(w, b.Now()) })
+		srv.SetSLO(func() any { return b.Snapshot() })
+		addr, serr := srv.Start(f.serveAddr)
+		if serr != nil {
+			return fail(serr)
+		}
+		fmt.Fprintf(os.Stderr, "batchsim: telemetry on http://%s (/metrics /healthz /slo /debug/pprof)\n", addr)
+		defer srv.Close()
+	}
+
+	arr, aerr := experiments.ArrivalProcess(f.arrival, f.lambda)
+	if aerr != nil {
+		return fail(aerr)
+	}
+	sum := b.RunService(f.gen, arr, f.seed)
+	if err := b.Err(); err != nil {
+		return fail(err)
+	}
+	if f.sched != "NODC" && f.sched != "OPT" {
+		if v := b.Violations(); v != 0 {
+			return fail(fmt.Errorf("live %s service run observed %d lock-guard violations", f.sched, v))
+		}
+	}
+	if f.ledger != "" {
+		if err := appendServiceLedger(f, "live", sum, epochs); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "batchsim: %d SLI ledger line(s) appended to %s\n", 1+len(epochs), f.ledger)
+	}
+	code := printService(f, fmt.Sprintf("live, %v wall, %d nodes, pace %v", f.duration, lcfg.NumNodes, lcfg.PacePerObject), sum, epochs)
+	if f.serveAddr != "" && f.linger > 0 {
+		fmt.Fprintf(os.Stderr, "batchsim: endpoint lingering %v for scrapers\n", f.linger)
+		time.Sleep(f.linger)
+	}
+	return code
+}
+
+// runServiceCapacity solves sustained-TPS-at-SLO for the sim service point.
+func runServiceCapacity(f serviceRun, pol batchsched.AdmitPolicy, fail func(error) int) int {
+	spec, err := serviceSpec(f.specPath)
+	if err != nil {
+		return fail(err)
+	}
+	p := experiments.Point{
+		Scheduler: f.sched,
+		NumFiles:  f.cfg.NumFiles,
+		DD:        f.cfg.DD,
+		Load:      experiments.Workload(f.wl),
+		Seed:      f.seed,
+		Reps:      f.reps,
+		Duration:  f.cfg.Duration,
+		Service:   &pol,
+		Arrival:   f.arrival,
+	}
+	res, err := experiments.ServiceCapacity(p, spec, f.reps, f.capLo, f.capHi, f.capTol)
+	if err != nil {
+		return fail(err)
+	}
+	if f.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	fmt.Printf("scheduler             %s (%s arrivals, %s, window %d)\n", f.sched, f.arrival, f.wl, pol.MPL)
+	fmt.Printf("SLO spec              %s\n", spec.Name)
+	if !res.Passed {
+		fmt.Printf("sustained TPS at SLO  none: even lambda=%.3f fails the SLO\n", f.capLo)
+	} else {
+		fmt.Printf("sustained TPS at SLO  %.3f TPS (verified at lambda=%.3f)\n", res.SustainedTPS, res.Lambda)
+	}
+	fmt.Printf("probes (%d):\n", len(res.Trials))
+	for _, tr := range res.Trials {
+		verdict := "FAIL"
+		if tr.Pass {
+			verdict = "pass"
+		}
+		fmt.Printf("  lambda=%.3f  %s  tps=%.3f  p95=%.1fs  shed=%.1f%%\n",
+			tr.Lambda, verdict, tr.Measures.TPS, tr.Measures.P95RTSeconds, 100*tr.Measures.ShedRate())
+	}
+	return 0
+}
+
+// serviceLedgerEntries builds the run-level entry plus one per-epoch entry
+// (Entry.Epoch numbered from 1), all carrying the open-stream arrival/shed
+// counters the shed-rate objective evaluates.
+func serviceLedgerEntries(source string, spec sli.Spec, schedName, wl string, lambda float64, seed int64,
+	sum batchsched.Summary, epochs []batchsched.EpochStats) []sli.Entry {
+	m := sli.FromSummary(schedName, wl, lambda, sum, 0, 0)
+	m.Arrivals = float64(sum.Arrivals)
+	m.Sheds = float64(sum.Sheds)
+	run := sli.NewEntry(source, spec, m)
+	run.Seed = seed
+	entries := []sli.Entry{run}
+	for _, es := range epochs {
+		span := (es.End - es.Start).Seconds()
+		em := sli.Measures{
+			Scheduler:     schedName,
+			Load:          wl,
+			Lambda:        lambda,
+			MeanRTSeconds: es.MeanRT.Seconds(),
+			P95RTSeconds:  es.P95RT.Seconds(),
+			Completions:   float64(es.Completions),
+			Arrivals:      float64(es.Arrivals),
+			Sheds:         float64(es.Sheds),
+		}
+		if span > 0 {
+			em.TPS = float64(es.Completions) / span
+		}
+		e := sli.NewEntry(source, spec, em)
+		e.Seed = seed
+		e.Epoch = es.Epoch
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// appendServiceLedger stamps the run-level entry (epoch entries stay
+// unstamped, so a fixed-seed epoch trail is byte-reproducible) and appends
+// everything to the JSONL ledger.
+func appendServiceLedger(f serviceRun, source string, sum batchsched.Summary, epochs []batchsched.EpochStats) error {
+	spec, err := serviceSpec(f.specPath)
+	if err != nil {
+		return err
+	}
+	entries := serviceLedgerEntries(source, spec, f.sched, f.wl, f.lambda, f.seed, sum, epochs)
+	entries[0].Time = time.Now().UTC().Format(time.RFC3339)
+	return sli.Append(f.ledger, entries...)
+}
+
+// printService renders the service summary (or its JSON) and returns the
+// exit code.
+func printService(f serviceRun, backendDesc string, sum batchsched.Summary, epochs []batchsched.EpochStats) int {
+	if f.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "batchsim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	overloaded := 0
+	for _, es := range epochs {
+		if es.Overloaded {
+			overloaded++
+		}
+	}
+	drain := sum.Sheds - sum.ShedQueueFull - sum.ShedDeadline - sum.ShedOverload
+	admitted := sum.Arrivals - sum.Sheds
+	fmt.Printf("mode             service (%s)\n", backendDesc)
+	fmt.Printf("scheduler        %s\n", f.sched)
+	fmt.Printf("arrivals         %s at %.3f TPS offered (%s workload)\n", f.arrival, f.lambda, f.wl)
+	fmt.Printf("offered          %d: admitted %d, shed %d (queue-full %d, deadline %d, overload %d, drain %d), evicted %d\n",
+		sum.Arrivals, admitted, sum.Sheds, sum.ShedQueueFull, sum.ShedDeadline, sum.ShedOverload, drain, sum.Evictions)
+	fmt.Printf("completions      %d (throughput %.3f TPS)\n", sum.Completions, sum.TPS)
+	fmt.Printf("resp. time       mean %.1f s (p50 %.1f, p95 %.1f, max %.1f)\n",
+		sum.MeanRT.Seconds(), sum.P50RT.Seconds(), sum.P95RT.Seconds(), sum.MaxRT.Seconds())
+	fmt.Printf("epochs           %d total, %d overloaded\n", len(epochs), overloaded)
+	fmt.Printf("blocks %d  delays %d  admission rejects %d  restarts %d\n",
+		sum.Blocks, sum.Delays, sum.AdmissionRejects, sum.Restarts)
+	return 0
+}

@@ -53,6 +53,12 @@ type benchResult struct {
 	// beyond -max-regress percent as a regression, so instrumentation cost
 	// creep is gated like any other slowdown.
 	ObsOverhead float64 `json:"obs_overhead,omitempty"`
+	// SustainedTPSAtSLO is the service-mode capacity figure reported by
+	// BenchmarkSustainedTPSAtSLO (b.ReportMetric(..., "sustained_tps_at_slo")):
+	// the largest open arrival rate whose run still met the default service
+	// SLO. Higher is better; -compare treats a drop beyond -max-regress as a
+	// regression, so open-stream capacity erosion is gated like a slowdown.
+	SustainedTPSAtSLO float64 `json:"sustained_tps_at_slo,omitempty"`
 }
 
 type snapshot struct {
@@ -117,6 +123,8 @@ func parseBench(r *bufio.Scanner) (map[string]benchResult, error) {
 				br.EventsPerSecPerCore = v
 			case "obs_overhead":
 				br.ObsOverhead = v
+			case "sustained_tps_at_slo":
+				br.SustainedTPSAtSLO = v
 			}
 		}
 		if br.NsPerOp == 0 {
@@ -237,12 +245,12 @@ func loadBaseline(path string) (snapshot, error) {
 
 // runCompare diffs the "post" snapshots of two baseline files and returns
 // the process exit code: 0 when every shared benchmark's ns/op — and, where
-// both snapshots report them, events/op, events/sec/core and obs_overhead —
-// regression stays within maxRegress percent, 1 otherwise. Events/op is
-// deterministic per workload, so any growth there is a real coalescing loss
-// rather than machine noise; events/sec/core regresses by DROPPING (higher
-// is better); obs_overhead regresses by growing (1.0 = instrumentation is
-// free).
+// both snapshots report them, events/op, events/sec/core, obs_overhead and
+// sustained_tps_at_slo — regression stays within maxRegress percent, 1
+// otherwise. Events/op is deterministic per workload, so any growth there is
+// a real coalescing loss rather than machine noise; events/sec/core and
+// sustained_tps_at_slo regress by DROPPING (higher is better); obs_overhead
+// regresses by growing (1.0 = instrumentation is free).
 func runCompare(oldPath, newPath string, maxRegress float64) int {
 	oldSnap, err := loadBaseline(oldPath)
 	if err != nil {
@@ -267,7 +275,7 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-12s %14s %14s %9s %14s %14s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta", "ev/s/core", "obs_ovh")
+	fmt.Printf("%-12s %14s %14s %9s %14s %14s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta", "ev/s/core", "obs_ovh", "tps@slo")
 	failed := false
 	for _, n := range names {
 		o, nw := oldSnap.Benches[n], newSnap.Benches[n]
@@ -304,7 +312,16 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 				failed = true
 			}
 		}
-		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s %14s %12s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, coreCol, obsCol, mark)
+		tpsCol := "-"
+		if o.SustainedTPSAtSLO > 0 && nw.SustainedTPSAtSLO > 0 {
+			tpsDelta := (nw.SustainedTPSAtSLO/o.SustainedTPSAtSLO - 1) * 100
+			tpsCol = fmt.Sprintf("%+.1f%%", tpsDelta)
+			if -tpsDelta > maxRegress {
+				mark = "  REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s %14s %12s %12s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, coreCol, obsCol, tpsCol, mark)
 	}
 	if failed {
 		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op, events/op, events/sec/core, or obs_overhead\n", maxRegress)

@@ -156,6 +156,11 @@ func writeSLILedger(path, specPath, sweepName string, aggs []sweep.Agg) error {
 			Completions:   a.Completions.Mean,
 			Restarts:      a.Restarts.Mean,
 		}
+		if a.Arrivals != nil && a.Sheds != nil {
+			// Service-mode cells carry the open-stream counters so the
+			// shed-rate objective has teeth in the ledger.
+			m.Arrivals, m.Sheds = a.Arrivals.Mean, a.Sheds.Mean
+		}
 		e := sli.NewEntry("sweep", spec, m)
 		e.Sweep = sweepName
 		e.CellKey = a.Cell.Key()

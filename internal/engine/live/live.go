@@ -27,6 +27,7 @@ import (
 
 	"strconv"
 
+	"batchsched/internal/admit"
 	"batchsched/internal/engine"
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
@@ -77,6 +78,13 @@ type Config struct {
 	// SampleEvery is the observability sampling period on the wall clock
 	// (0 = sample only at Finish).
 	SampleEvery time.Duration
+	// Service switches the backend into streaming-admission mode
+	// (internal/admit; see service.go): use RunService instead of
+	// Submit+Run. The window bound comes from Service.MPL, so MPL must be 0.
+	Service *admit.Policy
+	// ServiceDuration is the wall-time span of a service run (required in
+	// service mode): arrivals stop after it and the run drains.
+	ServiceDuration time.Duration
 }
 
 // DefaultConfig mirrors the simulator's machine shape (8 nodes, 16 files,
@@ -111,6 +119,17 @@ func (c Config) Validate() error {
 	if c.RestartDelay < 0 {
 		return fmt.Errorf("live: RestartDelay must be >= 0, got %v", c.RestartDelay)
 	}
+	if c.Service != nil {
+		if err := c.Service.Validate(); err != nil {
+			return err
+		}
+		if c.MPL != 0 {
+			return fmt.Errorf("live: service mode takes its window from Service.MPL; Config.MPL must be 0, got %d", c.MPL)
+		}
+		if c.ServiceDuration <= 0 {
+			return fmt.Errorf("live: service mode needs ServiceDuration > 0, got %v", c.ServiceDuration)
+		}
+	}
 	return nil
 }
 
@@ -136,6 +155,7 @@ type liveJob struct {
 type texec struct {
 	txn      *model.Txn
 	admitted bool
+	class    admit.Class // service class (service mode only)
 	run      *liveRun
 
 	txnSpan    obs.SpanID
@@ -194,6 +214,18 @@ type Backend struct {
 	strRT       *stream.Sketch
 	strActive   *stream.Gauge
 	strWaiting  *stream.Gauge
+
+	// Service-mode state (service.go); svc is nil outside service mode.
+	svc           *admit.Service
+	window        int // popped from the queue, not yet committed or evicted
+	epochNum      int
+	epochStart    sim.Time
+	epochPrev     admit.Stats
+	epochRTs      []sim.Time
+	epochHook     func(admit.EpochStats)
+	strSheds      *stream.Rate
+	strQueueDepth *stream.Gauge
+	strSojournUS  *stream.Gauge
 
 	txns    []*texec
 	jobs    []liveJob
@@ -715,6 +747,10 @@ func (b *Backend) processCommit(e *texec) {
 		rt = 0
 	}
 	b.met.Completion(now, rt)
+	if b.svc != nil {
+		b.window--
+		b.epochRTs = append(b.epochRTs, rt)
+	}
 	if b.strCommits != nil {
 		b.strCommits.Add(now, 1)
 		b.strRT.Observe(float64(rt) / 1e6) // sim.Time microseconds -> seconds

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"batchsched/internal/admit"
 	"batchsched/internal/fault"
 	"batchsched/internal/machine"
 	"batchsched/internal/metrics"
@@ -66,6 +67,14 @@ type Point struct {
 	// byte-identical to the merged calendar): 0 = merged, 1 = sharded on
 	// the caller's goroutine, N > 1 = N wave-prepare workers per run.
 	ParallelRun int
+	// Service switches the run into streaming-admission mode
+	// (internal/admit): arrivals flow through the bounded admission queue
+	// and the epoch loop instead of the closed paper loop. nil = closed.
+	Service *admit.Policy
+	// Arrival names the open arrival process for service runs: "" or
+	// "poisson" (homogeneous at Lambda), "diurnal", or "burst". A fresh
+	// process is built per replication (Burst is stateful).
+	Arrival string
 }
 
 func (p Point) generator() machine.Generator {
@@ -123,6 +132,15 @@ func runObserved(p Point, seed int64, ob *obs.Observer) metrics.Summary {
 	cfg.Faults = p.Faults
 	cfg.QuantumStepped = p.QuantumStepped
 	cfg.ParallelRun = p.ParallelRun
+	if p.Service != nil {
+		pol := *p.Service // the machine must not share policy state across replications
+		cfg.Service = &pol
+		arr, aerr := ArrivalProcess(p.Arrival, p.Lambda)
+		if aerr != nil {
+			panic(fmt.Sprintf("experiments: %v", aerr))
+		}
+		cfg.Arrivals = arr
+	}
 	m, err := machine.New(cfg, sched.MustNew(p.Scheduler, params), p.generator(), sim.NewRNG(seed))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

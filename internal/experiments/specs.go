@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"batchsched/internal/admit"
 	"batchsched/internal/fault"
 	"batchsched/internal/metrics"
 	"batchsched/internal/sched"
@@ -128,6 +129,18 @@ func CellPoint(c sweep.Cell) Point {
 	if c.MTBFSeconds > 0 {
 		p.Faults = fault.Config{MTBF: sim.FromSeconds(c.MTBFSeconds), MTTR: exp4MTTR}
 		p.RestartDelay = exp4RestartDelay
+	}
+	if c.Service {
+		// Service cells reinterpret the MPL dimension as the admission
+		// window (the machine requires Config.MPL = 0 in service mode, and
+		// the window is the open-system analogue of the admission limit).
+		pol := admit.DefaultPolicy()
+		if c.MPL > 0 {
+			pol.MPL = c.MPL
+		}
+		p.Service = &pol
+		p.Arrival = c.Arrival
+		p.MPL = 0
 	}
 	return p
 }

@@ -10,8 +10,10 @@ package machine
 import (
 	"fmt"
 
+	"batchsched/internal/admit"
 	"batchsched/internal/fault"
 	"batchsched/internal/sim"
+	"batchsched/internal/workload"
 )
 
 // Config carries the machine and measurement parameters (paper Table 1).
@@ -37,6 +39,18 @@ type Config struct {
 	// 0 disables the internal arrival process (transactions are then fed
 	// with Submit).
 	ArrivalRate float64
+	// Arrivals overrides the arrival process (nil keeps the paper's
+	// homogeneous Poisson at ArrivalRate, drawing byte-identical variates).
+	// Stateful processes (workload.Trace, workload.Burst) must be fresh per
+	// run, like schedulers.
+	Arrivals workload.Arrivals
+	// Service switches the machine into streaming-admission mode
+	// (internal/admit): arrivals enter the bounded deadline-ordered admission
+	// queue instead of going straight to the scheduler, an epoch loop drains
+	// it into the policy's in-flight window, and backpressure sheds load.
+	// The window bound comes from Service.MPL, so Config.MPL must be 0.
+	// Requires an arrival process (Arrivals or ArrivalRate > 0).
+	Service *admit.Policy
 	// Duration is the simulated span (the paper runs 2,000,000 ms).
 	Duration sim.Time
 	// Warmup excludes early completions from the metrics (0 in the paper).
@@ -136,6 +150,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: ParallelRun must be >= 0, got %d", c.ParallelRun)
 	case c.ParallelRun > 0 && c.QuantumStepped:
 		return fmt.Errorf("machine: ParallelRun requires the fast-forward DPN engine (QuantumStepped must be off)")
+	}
+	if c.Service != nil {
+		if err := c.Service.Validate(); err != nil {
+			return err
+		}
+		if c.MPL != 0 {
+			return fmt.Errorf("machine: service mode takes its window from Service.MPL; Config.MPL must be 0, got %d", c.MPL)
+		}
+		if c.Arrivals == nil && c.ArrivalRate <= 0 {
+			return fmt.Errorf("machine: service mode needs an arrival process (Arrivals or ArrivalRate > 0)")
+		}
 	}
 	return c.Faults.Validate()
 }

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"batchsched/internal/admit"
 	"batchsched/internal/engine"
 	"batchsched/internal/fault"
 	"batchsched/internal/metrics"
@@ -10,6 +11,7 @@ import (
 	"batchsched/internal/obs"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
+	"batchsched/internal/workload"
 )
 
 // Generator produces the declared steps of successive transactions. It is
@@ -34,7 +36,8 @@ const (
 	phBlocked                  // waiting on a file's lock release
 	phDelayed                  // policy-delayed lock request
 	phRunning                  // cohorts executing at DPNs
-	phFinished                 // committed
+	phFinished                 // committed (or shed/evicted in service mode)
+	phQueued                   // in the service-mode admission queue
 )
 
 // exec is the runtime wrapper around one transaction.
@@ -43,7 +46,8 @@ type exec struct {
 	phase        txnPhase
 	admitCharged bool
 	admitted     bool
-	run          *stepRun // current step dispatch, while phRunning
+	class        admit.Class // service class (service mode only)
+	run          *stepRun    // current step dispatch, while phRunning
 
 	// Observability state (all zero when the observer is disabled): the
 	// transaction's lifecycle span and its currently open phase spans.
@@ -87,6 +91,18 @@ type Machine struct {
 	arrivalRNG  *sim.RNG
 	workloadRNG *sim.RNG
 	restartRNG  *sim.RNG
+	arrivals    workload.Arrivals // nil when no arrival process is configured
+
+	// Service-mode state (service.go); svc is nil outside service mode.
+	svc        *admit.Service
+	classRNG   *sim.RNG
+	window     int // popped from the queue, not yet committed or evicted
+	epochNum   int
+	epochStart sim.Time
+	epochPrev  admit.Stats
+	epochRTs   []sim.Time
+	epochHook  func(admit.EpochStats)
+	onEpoch    sim.Handler
 
 	nextID    int64
 	active    int // admitted, uncommitted (machine-level MPL accounting)
@@ -158,6 +174,23 @@ func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, 
 		blocked:     make(map[model.FileID][]*exec),
 	}
 	m.cn.m = m
+	m.arrivals = cfg.Arrivals
+	if m.arrivals == nil && cfg.ArrivalRate > 0 {
+		m.arrivals = workload.Poisson{Rate: cfg.ArrivalRate}
+	}
+	if cfg.Service != nil {
+		svc, err := admit.NewService(*cfg.Service)
+		if err != nil {
+			return nil, err
+		}
+		m.svc = svc
+		m.classRNG = rng.Stream("class")
+		// The window bound doubles as the machine MPL so the closed-path
+		// admission guard agrees with the service accounting (Validate
+		// required Config.MPL == 0; m.cfg is the machine's own copy).
+		m.cfg.MPL = cfg.Service.MPL
+		m.onEpoch = func(now sim.Time) { m.runEpoch(now) }
+	}
 	m.dpns = make([]*dpn, cfg.NumNodes)
 	for i := range m.dpns {
 		m.dpns[i] = newDPN(i, eng, met)
@@ -345,11 +378,14 @@ func (m *Machine) Run() metrics.Summary {
 	if m.inj != nil {
 		m.inj.Start()
 	}
-	if m.cfg.ArrivalRate > 0 {
+	if m.arrivals != nil {
 		if m.gen == nil {
-			panic("machine: ArrivalRate > 0 needs a Generator")
+			panic("machine: an arrival process needs a Generator")
 		}
 		m.scheduleNextArrival()
+	}
+	if m.svc != nil {
+		m.eng.Schedule(m.svc.Policy().Epoch, m.onEpoch)
 	}
 	m.ob.StartSampling(m.eng)
 	if m.shardedRun {
@@ -405,7 +441,7 @@ func (m *Machine) RunClosed(horizon sim.Time) metrics.Summary {
 }
 
 func (m *Machine) scheduleNextArrival() {
-	gap := m.arrivalRNG.ExpTime(m.cfg.ArrivalRate)
+	gap := m.arrivals.Next(m.eng.Now(), m.arrivalRNG)
 	m.eng.Schedule(gap, m.onArrival)
 }
 
@@ -414,6 +450,10 @@ func (m *Machine) arrive(t *model.Txn) {
 	e := m.newExec(t)
 	if m.ob.Enabled() {
 		e.txnSpan = m.ob.Begin("txn", "txn", t.ID, -1, -1, 0, m.eng.Now())
+	}
+	if m.svc != nil {
+		m.svcArrive(e)
+		return
 	}
 	m.tryAdmit(e)
 }
@@ -762,6 +802,10 @@ func (m *Machine) commitFinish(e *exec) {
 	m.completed++
 	now := m.eng.Now()
 	m.met.Completion(now, now-e.txn.Arrival)
+	if m.svc != nil {
+		m.window--
+		m.epochRTs = append(m.epochRTs, now-e.txn.Arrival)
+	}
 	if m.ob.Enabled() {
 		m.ob.End(e.commitSpan, now)
 		e.commitSpan = 0

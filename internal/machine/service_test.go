@@ -1,0 +1,205 @@
+package machine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"batchsched/internal/admit"
+	"batchsched/internal/sched"
+	"batchsched/internal/sim"
+	"batchsched/internal/workload"
+)
+
+// svcConfig is a short service run: small window, fast epochs, a small
+// queue so backpressure paths are reachable in seconds of virtual time.
+func svcConfig(lambda float64) Config {
+	cfg := DefaultConfig()
+	cfg.ArrivalRate = lambda
+	cfg.Duration = 300_000 * sim.Millisecond
+	pol := admit.DefaultPolicy()
+	pol.MPL = 4
+	pol.Epoch = 250 * sim.Millisecond
+	pol.MaxQueue = 32
+	pol.QueueSLO = [admit.NumClasses]sim.Time{
+		admit.Batch:       60 * sim.Second,
+		admit.Interactive: 10 * sim.Second,
+	}
+	pol.OverloadP95 = 20 * sim.Second
+	cfg.Service = &pol
+	return cfg
+}
+
+func runService(t *testing.T, cfg Config, seed int64) (*Machine, []admit.EpochStats) {
+	t.Helper()
+	m, err := New(cfg, sched.MustNew("GOW", sched.DefaultParams()),
+		workload.NewExp1(cfg.NumFiles), sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs []admit.EpochStats
+	m.SetEpochHook(func(es admit.EpochStats) { epochs = append(epochs, es) })
+	m.Run()
+	return m, epochs
+}
+
+func TestServiceConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.MPL = 4 },         // window comes from the policy
+		func(c *Config) { c.ArrivalRate = 0 }, // needs an arrival process
+		func(c *Config) { c.Service.MPL = 0 }, // invalid policy
+		func(c *Config) { c.Service.InteractiveFraction = 2 },
+	}
+	for i, mutate := range bad {
+		cfg := svcConfig(1.0)
+		pol := *cfg.Service // keep mutations test-local
+		cfg.Service = &pol
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad service config %d validated", i)
+		}
+	}
+	if err := svcConfig(1.0).Validate(); err != nil {
+		t.Fatalf("service config invalid: %v", err)
+	}
+}
+
+// TestServiceModerateLoad: at a sustainable rate the service admits nearly
+// everything, epochs fire, and the books balance.
+func TestServiceModerateLoad(t *testing.T) {
+	cfg := svcConfig(0.15) // Pattern1 is ~7.2 s of scan work; MPL 4 sustains ~0.25/s
+	m, epochs := runService(t, cfg, 7)
+	sum := m.met.Summarize(cfg.Duration)
+	if sum.Completions == 0 {
+		t.Fatal("no completions")
+	}
+	if len(epochs) == 0 {
+		t.Fatal("no epochs emitted")
+	}
+	st := m.Service().Stats()
+	if st.Arrivals != sum.Arrivals {
+		t.Fatalf("service arrivals %d != collector arrivals %d", st.Arrivals, sum.Arrivals)
+	}
+	// Every offered transaction is queued, admitted, shed, or still waiting.
+	if st.Enqueued+st.Shed[admit.ShedQueueFull]+st.Shed[admit.ShedOverload] != st.Arrivals {
+		t.Fatalf("arrival books: %+v", st)
+	}
+	if float64(st.TotalShed()) > 0.05*float64(st.Arrivals) {
+		t.Fatalf("moderate load shed %d of %d arrivals", st.TotalShed(), st.Arrivals)
+	}
+	last := epochs[len(epochs)-1]
+	if last.Epoch != len(epochs) {
+		t.Fatalf("epoch numbering: last %d over %d epochs", last.Epoch, len(epochs))
+	}
+	if last.Cum.Arrivals != st.Arrivals {
+		t.Fatalf("cumulative epoch stats diverge from service stats")
+	}
+}
+
+// TestServiceOverload: far above capacity, shedding activates, the queue
+// stays bounded, and the transactions actually admitted still meet the
+// response-time SLO (backpressure protects the window).
+func TestServiceOverload(t *testing.T) {
+	cfg := svcConfig(20.0) // capacity for Exp1 at MPL 4 is a fraction of this
+	m, epochs := runService(t, cfg, 11)
+	sum := m.met.Summarize(cfg.Duration)
+	st := m.Service().Stats()
+	if st.TotalShed() == 0 {
+		t.Fatal("overload shed nothing")
+	}
+	if st.Shed[admit.ShedOverload] == 0 && st.Shed[admit.ShedQueueFull] == 0 && st.Shed[admit.ShedDeadline] == 0 {
+		t.Fatalf("no backpressure reason fired: %+v", st.Shed)
+	}
+	if st.DepthHighWater > cfg.Service.MaxQueue {
+		t.Fatalf("queue exceeded bound: high water %d > %d", st.DepthHighWater, cfg.Service.MaxQueue)
+	}
+	for _, es := range epochs {
+		if es.QueueDepth > cfg.Service.MaxQueue {
+			t.Fatalf("epoch %d queue depth %d over bound", es.Epoch, es.QueueDepth)
+		}
+		if es.Active > cfg.Service.MPL {
+			t.Fatalf("epoch %d active %d over window %d", es.Epoch, es.Active, cfg.Service.MPL)
+		}
+	}
+	overloadedEpochs := 0
+	for _, es := range epochs {
+		if es.Overloaded {
+			overloadedEpochs++
+		}
+	}
+	if overloadedEpochs == 0 {
+		t.Fatal("overload control never engaged")
+	}
+	// The admitted transactions' p95 stays within the paper's 70 s criterion:
+	// shedding absorbed the excess instead of the window.
+	if sum.P95RT > 70*sim.Second {
+		t.Fatalf("admitted p95 %v exceeds 70 s under overload", sum.P95RT)
+	}
+	// Collector and service agree on shed counts.
+	if sum.Sheds != st.TotalShed() || sum.ShedOverload != st.Shed[admit.ShedOverload] {
+		t.Fatalf("collector sheds %d/%d != service %d/%d",
+			sum.Sheds, sum.ShedOverload, st.TotalShed(), st.Shed[admit.ShedOverload])
+	}
+}
+
+// TestServiceEviction: with EvictOnOverload set, overloaded epochs evict
+// blocked batch transactions and the books still balance.
+func TestServiceEviction(t *testing.T) {
+	cfg := svcConfig(20.0)
+	pol := *cfg.Service
+	pol.EvictOnOverload = true
+	cfg.Service = &pol
+	m, _ := runService(t, cfg, 13)
+	sum := m.met.Summarize(cfg.Duration)
+	st := m.Service().Stats()
+	if st.Evictions == 0 {
+		t.Skip("no eviction opportunity at this seed (no blocked batch txn during overloaded epochs)")
+	}
+	if sum.Evictions != st.Evictions {
+		t.Fatalf("collector evictions %d != service %d", sum.Evictions, st.Evictions)
+	}
+	if sum.Completions == 0 {
+		t.Fatal("no completions with eviction enabled")
+	}
+}
+
+// TestServiceDeterminism: same seed, same config → byte-identical summary
+// and epoch trail; a different seed diverges.
+func TestServiceDeterminism(t *testing.T) {
+	cfg := svcConfig(2.0)
+	m1, e1 := runService(t, cfg, 42)
+	m2, e2 := runService(t, cfg, 42)
+	s1, _ := json.Marshal(m1.met.Summarize(cfg.Duration))
+	s2, _ := json.Marshal(m2.met.Summarize(cfg.Duration))
+	if string(s1) != string(s2) {
+		t.Fatalf("same-seed summaries differ:\n%s\n%s", s1, s2)
+	}
+	t1, _ := json.Marshal(e1)
+	t2, _ := json.Marshal(e2)
+	if string(t1) != string(t2) {
+		t.Fatal("same-seed epoch trails differ")
+	}
+	m3, _ := runService(t, cfg, 43)
+	s3, _ := json.Marshal(m3.met.Summarize(cfg.Duration))
+	if string(s1) == string(s3) {
+		t.Fatal("different seeds produced identical summaries")
+	}
+}
+
+// TestServiceInteractivePriority: interactive arrivals carry the earlier
+// deadline, so under load their admission share beats their arrival share.
+func TestServiceInteractivePriority(t *testing.T) {
+	cfg := svcConfig(8.0)
+	pol := *cfg.Service
+	pol.InteractiveFraction = 0.3
+	cfg.Service = &pol
+	m, _ := runService(t, cfg, 17)
+	st := m.Service().Stats()
+	if st.Admitted[admit.Interactive] == 0 {
+		t.Fatal("no interactive admissions")
+	}
+	admitted := float64(st.TotalAdmitted())
+	interShare := float64(st.Admitted[admit.Interactive]) / admitted
+	if interShare < 0.3 {
+		t.Fatalf("interactive admission share %.2f below arrival share 0.30 — deadline ordering not prioritizing", interShare)
+	}
+}

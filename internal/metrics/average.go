@@ -35,6 +35,11 @@ func Average(sums []Summary) Summary {
 		out.MsgAborts += s.MsgAborts
 		out.StragglerEpisodes += s.StragglerEpisodes
 		out.CompletionsDegraded += s.CompletionsDegraded
+		out.Sheds += s.Sheds
+		out.ShedQueueFull += s.ShedQueueFull
+		out.ShedDeadline += s.ShedDeadline
+		out.ShedOverload += s.ShedOverload
+		out.Evictions += s.Evictions
 		meanRT += float64(s.MeanRT)
 		p50 += float64(s.P50RT)
 		p90 += float64(s.P90RT)
@@ -64,6 +69,11 @@ func Average(sums []Summary) Summary {
 	out.MsgAborts = div(out.MsgAborts)
 	out.StragglerEpisodes = div(out.StragglerEpisodes)
 	out.CompletionsDegraded = div(out.CompletionsDegraded)
+	out.Sheds = div(out.Sheds)
+	out.ShedQueueFull = div(out.ShedQueueFull)
+	out.ShedDeadline = div(out.ShedDeadline)
+	out.ShedOverload = div(out.ShedOverload)
+	out.Evictions = div(out.Evictions)
 	fn := float64(n)
 	out.MeanRT = sim.Time(meanRT / fn)
 	out.P50RT = sim.Time(p50 / fn)

@@ -50,6 +50,13 @@ type Collector struct {
 	degradedSince       sim.Time
 	degradedTime        sim.Time
 	completionsDegraded int
+
+	// Service-mode accounting (all zero on closed-batch runs).
+	sheds         int
+	shedQueueFull int
+	shedDeadline  int
+	shedOverload  int
+	evictions     int
 }
 
 // NewCollector returns a collector for a machine with numNodes
@@ -129,6 +136,15 @@ func (c *Collector) degradeOff(now sim.Time) {
 	}
 }
 
+// ShedQueueFull, ShedDeadline, ShedOverload and ShedDrain count admission
+// sheds per reason; Evicted counts in-flight overload evictions. All are
+// service-mode events (internal/admit).
+func (c *Collector) ShedQueueFull() { c.sheds++; c.shedQueueFull++ }
+func (c *Collector) ShedDeadline()  { c.sheds++; c.shedDeadline++ }
+func (c *Collector) ShedOverload()  { c.sheds++; c.shedOverload++ }
+func (c *Collector) ShedDrain()     { c.sheds++ }
+func (c *Collector) Evicted()       { c.evictions++ }
+
 // CrashAbort, MsgLost, MsgRetry and MsgAbort count fault consequences.
 func (c *Collector) CrashAbort() { c.crashAborts++ }
 func (c *Collector) MsgLost()    { c.msgLost++ }
@@ -191,6 +207,14 @@ type Summary struct {
 	DegradedTime        sim.Time `json:",omitempty"`
 	CompletionsDegraded int      `json:",omitempty"`
 	DegradedTPS         float64  `json:",omitempty"`
+	// Sheds (with its per-reason breakdown; drains are the remainder) and
+	// Evictions count streaming-admission backpressure events (zero, and
+	// omitted, on closed-batch runs; see internal/admit).
+	Sheds         int `json:",omitempty"`
+	ShedQueueFull int `json:",omitempty"`
+	ShedDeadline  int `json:",omitempty"`
+	ShedOverload  int `json:",omitempty"`
+	Evictions     int `json:",omitempty"`
 }
 
 // Availability is the fraction of node-time the machine's data-processing
@@ -227,6 +251,12 @@ func (c *Collector) Summarize(duration sim.Time) Summary {
 		MsgAborts:           c.msgAborts,
 		StragglerEpisodes:   c.stragglers,
 		CompletionsDegraded: c.completionsDegraded,
+
+		Sheds:         c.sheds,
+		ShedQueueFull: c.shedQueueFull,
+		ShedDeadline:  c.shedDeadline,
+		ShedOverload:  c.shedOverload,
+		Evictions:     c.evictions,
 	}
 	// Flush the open down/degraded intervals to the end of the run without
 	// mutating the collector (Summarize stays idempotent).

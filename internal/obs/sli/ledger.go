@@ -35,6 +35,9 @@ type Entry struct {
 	Measures Measures `json:"measures"`
 	Pass     bool     `json:"pass"`
 	Checks   []Check  `json:"checks"`
+	// Epoch numbers per-epoch service-mode entries from 1 (0, omitted, for
+	// run-level entries). Appended field: order is part of the byte format.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // NewEntry evaluates spec over m and assembles a ledger entry.

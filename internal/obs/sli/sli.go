@@ -42,6 +42,10 @@ type Objective struct {
 	// MaxGuardViolations ceilings the live backend's data-guard
 	// co-residency violations (0 is a meaningful ceiling: none allowed).
 	MaxGuardViolations *float64 `json:"maxGuardViolations,omitempty"`
+	// MaxShedRate ceilings sheds per offered arrival (open-stream service
+	// runs). Without it, load shedding keeps the admitted-transaction tail
+	// healthy at any offered load and a capacity bisection never fails.
+	MaxShedRate *float64 `json:"maxShedRate,omitempty"`
 }
 
 // matches reports whether the objective applies to the (scheduler, load)
@@ -64,6 +68,7 @@ func (o Objective) bounds() []boundSpec {
 	add("tps", "min", o.MinTPS, func(m Measures) float64 { return m.TPS })
 	add("abort_rate", "max", o.MaxAbortRate, func(m Measures) float64 { return m.AbortRate() })
 	add("guard_violations", "max", o.MaxGuardViolations, func(m Measures) float64 { return m.GuardViolations })
+	add("shed_rate", "max", o.MaxShedRate, func(m Measures) float64 { return m.ShedRate() })
 	return out
 }
 
@@ -97,6 +102,23 @@ func Default() Spec {
 			Objective{Name: "no-guard-violations", Scheduler: s, MaxGuardViolations: f(0)})
 	}
 	return spec
+}
+
+// ServiceDefault is the open-stream service SLO: the paper's 70-second p95
+// operating criterion on admitted transactions, restart churn below two
+// aborts per completion, and — the open-system teeth — at most 2% of
+// offered arrivals shed. It is the spec the sustained-TPS-at-SLO capacity
+// probe bisects against.
+func ServiceDefault() Spec {
+	f := func(v float64) *float64 { return &v }
+	return Spec{
+		Name: "service-default",
+		Objectives: []Objective{
+			{Name: "rt-tail", MaxP95RTSeconds: f(70)},
+			{Name: "abort-churn", MaxAbortRate: f(2)},
+			{Name: "shed-rate", MaxShedRate: f(0.02)},
+		},
+	}
 }
 
 // Load reads and validates a JSON spec file.
@@ -149,6 +171,11 @@ type Measures struct {
 	// ClockClamps counts monotone-clamp events the observability layer hit
 	// (wall-clock regression made visible; see internal/obs).
 	ClockClamps float64 `json:"clockClamps"`
+	// Arrivals and Sheds support the open-stream shed-rate bound (appended
+	// fields: Entry byte format keeps struct order, so new fields go last
+	// and are omitted when zero).
+	Arrivals float64 `json:"arrivals,omitempty"`
+	Sheds    float64 `json:"sheds,omitempty"`
 }
 
 // AbortRate is restarts per completed transaction (0 when nothing
@@ -158,6 +185,15 @@ func (m Measures) AbortRate() float64 {
 		return 0
 	}
 	return m.Restarts / m.Completions
+}
+
+// ShedRate is sheds per offered arrival (0 when arrivals were not
+// measured — closed-batch runs).
+func (m Measures) ShedRate() float64 {
+	if m.Arrivals <= 0 {
+		return 0
+	}
+	return m.Sheds / m.Arrivals
 }
 
 // FromSummary digests a run summary into measures. guardViolations and

@@ -80,6 +80,18 @@ func (g *RNG) Norm(mean, stddev float64) float64 {
 	return mean + stddev*g.r.NormFloat64()
 }
 
+// Pareto returns a Pareto variate with shape alpha and scale xm (the
+// distribution's minimum) by inverse-CDF sampling. Both must be positive.
+// For alpha > 1 the mean is alpha*xm/(alpha-1), so xm = (alpha-1)/alpha
+// gives a unit-mean draw — the normalization the heavy-tailed cost
+// workload uses.
+func (g *RNG) Pareto(alpha, xm float64) float64 {
+	if alpha <= 0 || xm <= 0 {
+		panic("sim: Pareto needs alpha > 0 and xm > 0")
+	}
+	return xm / math.Pow(1-g.Float64(), 1/alpha)
+}
+
 // TwoDistinct returns two distinct uniform integers in [0, n). n must be >= 2.
 func (g *RNG) TwoDistinct(n int) (int, int) {
 	if n < 2 {

@@ -38,6 +38,11 @@ type Agg struct {
 	// Completions and Restarts aggregate the event counts.
 	Completions Stat `json:"completions"`
 	Restarts    Stat `json:"restarts"`
+	// Arrivals and Sheds aggregate the open-stream counters; they are set
+	// only for service-mode cells (pointers so closed-batch summary JSON is
+	// byte-identical to pre-service sweeps).
+	Arrivals *Stat `json:"arrivals,omitempty"`
+	Sheds    *Stat `json:"sheds,omitempty"`
 }
 
 // Aggregate groups records by cell and folds each cell's replications into
@@ -55,15 +60,17 @@ func Aggregate(recs []Record) []Agg {
 	aggs := make([]Agg, 0, len(idxs))
 	for _, idx := range idxs {
 		group := byCell[idx]
-		var meanRT, p95RT, tps, completions, restarts stats.Sample
+		var meanRT, p95RT, tps, completions, restarts, arrivals, sheds stats.Sample
 		for _, rec := range group {
 			meanRT.Add(rec.Summary.MeanRT.Seconds())
 			p95RT.Add(rec.Summary.P95RT.Seconds())
 			tps.Add(rec.Summary.TPS)
 			completions.Add(float64(rec.Summary.Completions))
 			restarts.Add(float64(rec.Summary.Restarts))
+			arrivals.Add(float64(rec.Summary.Arrivals))
+			sheds.Add(float64(rec.Summary.Sheds))
 		}
-		aggs = append(aggs, Agg{
+		a := Agg{
 			Cell:          group[0].Cell,
 			Reps:          len(group),
 			MeanRTSeconds: statOf(&meanRT),
@@ -71,7 +78,12 @@ func Aggregate(recs []Record) []Agg {
 			TPS:           statOf(&tps),
 			Completions:   statOf(&completions),
 			Restarts:      statOf(&restarts),
-		})
+		}
+		if a.Cell.Service {
+			arr, shd := statOf(&arrivals), statOf(&sheds)
+			a.Arrivals, a.Sheds = &arr, &shd
+		}
+		aggs = append(aggs, a)
 	}
 	return aggs
 }

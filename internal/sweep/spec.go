@@ -48,6 +48,14 @@ type Spec struct {
 	// seconds (default [0] = failure-free; >0 enables the Exp.4 fault
 	// model).
 	MTBFSeconds []float64 `json:"mtbfSeconds,omitempty"`
+	// Service switches every cell into streaming-admission service mode
+	// (internal/admit): open arrivals through the bounded admission queue
+	// instead of the closed paper loop. The MPLs grid then sizes the
+	// admission window (0 = the default policy's window).
+	Service bool `json:"service,omitempty"`
+	// Arrivals is the arrival-process grid for service cells: "poisson",
+	// "diurnal" or "burst" (default ["poisson"]). Only valid with Service.
+	Arrivals []string `json:"arrivals,omitempty"`
 	// Reps is the number of seed replications per cell (default 1).
 	Reps int `json:"reps,omitempty"`
 	// Seed is the root seed every substream derives from (default 1).
@@ -81,6 +89,15 @@ func (s Spec) Norm() Spec {
 	if len(s.MTBFSeconds) == 0 {
 		s.MTBFSeconds = []float64{0}
 	}
+	if s.Service && len(s.Arrivals) == 0 {
+		s.Arrivals = []string{"poisson"}
+	}
+	if !s.Service {
+		// Closed-batch cells carry no arrival-process dimension; the empty
+		// string keeps their keys (and checkpoints) byte-identical to
+		// pre-service sweeps.
+		s.Arrivals = []string{""}
+	}
 	if s.Reps < 1 {
 		s.Reps = 1
 	}
@@ -109,6 +126,18 @@ func (s Spec) Validate() error {
 	if s.DurationSeconds < 0 {
 		return fmt.Errorf("sweep: spec %q has negative duration", s.Name)
 	}
+	if !s.Service && len(s.Arrivals) > 0 {
+		return fmt.Errorf("sweep: spec %q lists arrivals without service mode", s.Name)
+	}
+	if s.Service {
+		for _, a := range s.Arrivals {
+			switch a {
+			case "poisson", "diurnal", "burst":
+			default:
+				return fmt.Errorf("sweep: spec %q has unknown arrival process %q (want poisson, diurnal or burst)", s.Name, a)
+			}
+		}
+	}
 	return nil
 }
 
@@ -127,6 +156,11 @@ type Cell struct {
 	MTBFSeconds     float64 `json:"mtbfSeconds"`
 	Load            string  `json:"load"`
 	DurationSeconds float64 `json:"durationSeconds"`
+	// Service and Arrival carry the streaming-admission dimension; both are
+	// zero for closed-batch cells so legacy checkpoints and keys are
+	// untouched.
+	Service bool   `json:"service,omitempty"`
+	Arrival string `json:"arrival,omitempty"`
 }
 
 // Key is the canonical identity of the cell's parameters (Index excluded):
@@ -134,12 +168,21 @@ type Cell struct {
 // cell's RNG substreams, so a cell's draws never depend on grid position or
 // execution order.
 func (c Cell) Key() string {
-	return fmt.Sprintf("load=%s sched=%s lambda=%g nf=%d dd=%d sigma=%g mpl=%d k=%d mtbf=%g dur=%g",
+	key := fmt.Sprintf("load=%s sched=%s lambda=%g nf=%d dd=%d sigma=%g mpl=%d k=%d mtbf=%g dur=%g",
 		c.Load, c.Scheduler, c.Lambda, c.NumFiles, c.DD, c.Sigma, c.MPL, c.K, c.MTBFSeconds, c.DurationSeconds)
+	// The service dimension appends only when on, so every pre-service cell
+	// key — and with it every existing checkpoint and seed derivation — stays
+	// byte-identical.
+	if c.Service {
+		key += fmt.Sprintf(" svc=1 arr=%s", c.Arrival)
+	}
+	return key
 }
 
 // Cells expands the spec into its grid, in the documented nesting order —
-// NumFiles, DD, MTBF, Sigma, Lambda, Scheduler, MPL, K, outermost first —
+// NumFiles, DD, MTBF, Sigma, Lambda, Scheduler, MPL, K, Arrival, outermost
+// first (the arrival dimension collapses to one unlabeled element for
+// closed-batch specs) —
 // which the artifact regenerators rely on for positional row/column
 // indexing (rows vary the slow dimensions, scheduler columns vary fastest).
 func (s Spec) Cells() []Cell {
@@ -153,19 +196,23 @@ func (s Spec) Cells() []Cell {
 						for _, sched := range n.Schedulers {
 							for _, mpl := range n.MPLs {
 								for _, k := range n.Ks {
-									cells = append(cells, Cell{
-										Index:           len(cells),
-										Scheduler:       sched,
-										Lambda:          lambda,
-										NumFiles:        nf,
-										DD:              dd,
-										Sigma:           sigma,
-										MPL:             mpl,
-										K:               k,
-										MTBFSeconds:     mtbf,
-										Load:            n.Load,
-										DurationSeconds: n.DurationSeconds,
-									})
+									for _, arr := range n.Arrivals {
+										cells = append(cells, Cell{
+											Index:           len(cells),
+											Scheduler:       sched,
+											Lambda:          lambda,
+											NumFiles:        nf,
+											DD:              dd,
+											Sigma:           sigma,
+											MPL:             mpl,
+											K:               k,
+											MTBFSeconds:     mtbf,
+											Load:            n.Load,
+											DurationSeconds: n.DurationSeconds,
+											Service:         n.Service,
+											Arrival:         arr,
+										})
+									}
 								}
 							}
 						}

@@ -114,3 +114,53 @@ func TestLoadSpec(t *testing.T) {
 		t.Error("LoadSpec accepted a missing file")
 	}
 }
+
+func TestServiceSpecGrid(t *testing.T) {
+	// Legacy closed-batch keys must be byte-identical with the service
+	// dimension present in the struct: checkpoints from older sweeps resume.
+	legacy := testSpec().Cells()[0]
+	if got, want := legacy.Key(), "load=exp1 sched=LOW lambda=0.2 nf=16 dd=1 sigma=0 mpl=0 k=0 mtbf=0 dur=0"; got != want {
+		t.Errorf("closed-batch Key changed:\n got  %q\n want %q", got, want)
+	}
+
+	s := testSpec()
+	s.Service = true
+	s.Arrivals = []string{"poisson", "burst"}
+	n := s.Norm()
+	cells := n.Cells()
+	if len(cells) != 16 {
+		t.Fatalf("cells = %d, want 8 x 2 arrivals", len(cells))
+	}
+	// Arrival is the innermost (fastest-cycling) dimension.
+	if cells[0].Arrival != "poisson" || cells[1].Arrival != "burst" ||
+		cells[2].Arrival != "poisson" {
+		t.Errorf("arrival nesting wrong: %q %q %q", cells[0].Arrival, cells[1].Arrival, cells[2].Arrival)
+	}
+	for i, c := range cells {
+		if !c.Service {
+			t.Fatalf("cell %d not marked Service", i)
+		}
+	}
+	k := cells[0].Key()
+	if want := legacy.Key() + " svc=1 arr=poisson"; k != want {
+		t.Errorf("service Key = %q, want %q", k, want)
+	}
+
+	// Defaulting: service with no arrivals gets poisson.
+	d := Spec{Schedulers: []string{"LOW"}, Lambdas: []float64{1}, Service: true}.Norm()
+	if len(d.Arrivals) != 1 || d.Arrivals[0] != "poisson" {
+		t.Errorf("service default arrivals = %v", d.Arrivals)
+	}
+
+	for _, bad := range []Spec{
+		{Schedulers: []string{"LOW"}, Lambdas: []float64{1}, Arrivals: []string{"poisson"}}, // arrivals without service
+		{Schedulers: []string{"LOW"}, Lambdas: []float64{1}, Service: true, Arrivals: []string{"trace"}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate rejected a good service spec: %v", err)
+	}
+}
