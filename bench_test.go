@@ -2,14 +2,15 @@ package batchsched
 
 import (
 	"os"
-	"runtime"
 	"strconv"
 	"testing"
 	"time"
 
 	"batchsched/internal/experiments"
 	"batchsched/internal/machine"
+	"batchsched/internal/model"
 	"batchsched/internal/obs/sli"
+	"batchsched/internal/pool"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 )
@@ -93,10 +94,13 @@ func BenchmarkTable5(b *testing.B) { benchArtifact(b, "table5") }
 //
 // events/sec/core is the scheduling-normalized throughput figure tracked by
 // the benchjson -compare gate: dispatched events per wall-clock second,
-// divided by the cores the run may occupy (min(max(1, ParallelRun),
-// GOMAXPROCS)), so a parallel run has to beat the sequential engine per
-// core spent, not just in aggregate. Set BENCH_PARALLEL_RUN=N to run the
-// sharded-calendar engine (Config.ParallelRun) instead of the merged one.
+// divided by the configured worker budget (max(1, ParallelRun)) — NOT
+// clamped to the host's GOMAXPROCS — so a parallel run is held to beating
+// the sequential engine per core it asked for and the figure means the same
+// thing on every host. benchjson records the run's GOMAXPROCS in the
+// snapshot and skips the per-core gate when two snapshots' core counts
+// differ. Set BENCH_PARALLEL_RUN=N to run the sharded-calendar engine
+// (Config.ParallelRun) instead of the merged one.
 
 // benchParallelRun reads BENCH_PARALLEL_RUN (0, the merged calendar, when
 // unset or malformed).
@@ -137,13 +141,7 @@ func benchOneRun(b *testing.B, scheduler string, lambda float64) {
 		events += m.Engine().Executed()
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
-	cores := cfg.ParallelRun
-	if cores < 1 {
-		cores = 1
-	}
-	if g := runtime.GOMAXPROCS(0); cores > g {
-		cores = g
-	}
+	cores := max(1, cfg.ParallelRun)
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(events)/secs/float64(cores), "events/sec/core")
 	}
@@ -172,6 +170,157 @@ func BenchmarkRunC2PL(b *testing.B) { benchOneRun(b, "C2PL", 0.08) }
 // BenchmarkRunOPT measures a run under optimistic locking (includes
 // restart churn).
 func BenchmarkRunOPT(b *testing.B) { benchOneRun(b, "OPT", 0.05) }
+
+// Decision-engine benchmarks: the latency of one GOW/LOW lock-request
+// decision at a contended steady state (DESIGN.md §17). Both scenarios are
+// built so the scheduler answers Delay, which leaves the WTPG untouched —
+// the identical decision can then be re-taken every iteration. Set
+// BENCH_DECISION_WORKERS=N to fan candidate scoring over N workers
+// (Params.DecisionWorkers); the decisions are byte-identical either way, so
+// the pre/post decision_ns_per_op ratio in BENCH_core.json is a pure
+// wall-clock comparison of the two paths.
+
+// benchDecisionWorkers reads BENCH_DECISION_WORKERS (0, the sequential
+// path, when unset or malformed).
+func benchDecisionWorkers() int {
+	n, err := strconv.Atoi(os.Getenv("BENCH_DECISION_WORKERS"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// benchLane injects a decision lane per Params.DecisionWorkers, returning
+// the pool to stop (nil on the sequential path).
+func benchLane(s sched.Scheduler, p sched.Params) *pool.Pool {
+	if p.DecisionWorkers <= 1 {
+		return nil
+	}
+	pl := pool.New("bench", p.DecisionWorkers)
+	s.(sched.DecisionParallel).SetDecisionLane(pl.Lane("decision"))
+	return pl
+}
+
+func benchWriteStep(f int, cost float64) model.Step {
+	return model.Step{File: model.FileID(f), Write: true, LockMode: model.X,
+		Cost: cost, DeclaredCost: cost}
+}
+
+// newDecisionGOW builds a GOW instance with chains conflicting chains of
+// length chainLen (the Phase-2 component fan-out) plus one two-transaction
+// component whose members share file 0. The perpetual requester is the pair
+// member the optimized order W places second — its request is consistently
+// delayed in Phase 3 — and swap picks which member plays that role.
+func newDecisionGOW(p sched.Params, chains, chainLen int, swap bool) (sched.Scheduler, *model.Txn, *pool.Pool) {
+	s := sched.MustNew("GOW", p)
+	pl := benchLane(s, p)
+	id := int64(1)
+	admit := func(steps ...model.Step) *model.Txn {
+		t := model.NewTxn(id, 0, steps)
+		id++
+		if ok, _ := s.Admit(t); !ok {
+			panic("bench: GOW refused a chain-form admission")
+		}
+		return t
+	}
+	a := admit(benchWriteStep(0, 1))
+	c := admit(benchWriteStep(0, 1), benchWriteStep(1, 50))
+	if swap {
+		a, c = c, a
+	}
+	_ = a
+	file := 2
+	for ch := 0; ch < chains; ch++ {
+		prev := -1
+		for i := 0; i < chainLen; i++ {
+			var steps []model.Step
+			if prev >= 0 {
+				steps = append(steps, benchWriteStep(prev, 1))
+			}
+			steps = append(steps, benchWriteStep(file, 1))
+			prev = file
+			file++
+			admit(steps...)
+		}
+	}
+	return s, c, pl
+}
+
+// BenchmarkDecisionGOW measures one GOW lock-request decision — Phases 1-3
+// with the full Phase-2 optimized order over every chain component — at a
+// steady Delay point. decision_ns_per_op duplicates ns/op under the metric
+// name the benchjson gate tracks across worker counts.
+func BenchmarkDecisionGOW(b *testing.B) {
+	p := sched.DefaultParams()
+	p.DecisionWorkers = benchDecisionWorkers()
+	s, req, pl := newDecisionGOW(p, 64, 8, false)
+	if out := s.Request(req); out.Decision != sched.Delay {
+		// W ordered the pair the other way: the roles are swapped, and that
+		// first Grant mutated the graph, so rebuild from scratch.
+		s, req, pl = newDecisionGOW(p, 64, 8, true)
+		if out := s.Request(req); out.Decision != sched.Delay {
+			b.Fatalf("no stable Delay requester (got %v)", out.Decision)
+		}
+	}
+	if pl != nil {
+		defer pl.Stop()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Request(req); out.Decision != sched.Delay {
+			b.Fatalf("decision drifted to %v", out.Decision)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "decision_ns_per_op")
+}
+
+// BenchmarkDecisionLOW measures one LOW lock-request decision — E(q) plus
+// the E(p) scan over every conflicting declaration on a hot file — at a
+// steady Delay point: the conflicters are ordered so the one beating E(q)
+// comes last, which makes the sequential path walk the entire candidate
+// list before delaying (the worst, and parallel-relevant, case).
+func BenchmarkDecisionLOW(b *testing.B) {
+	const residents = 16
+	p := sched.DefaultParams()
+	p.K = residents
+	p.DecisionWorkers = benchDecisionWorkers()
+	s := sched.MustNew("LOW", p)
+	pl := benchLane(s, p)
+	if pl != nil {
+		defer pl.Stop()
+	}
+	id := int64(1)
+	admit := func(steps ...model.Step) *model.Txn {
+		t := model.NewTxn(id, 0, steps)
+		id++
+		if ok, _ := s.Admit(t); !ok {
+			b.Fatal("LOW refused an admission within the K bound")
+		}
+		return t
+	}
+	priv := 1
+	for i := 0; i < residents-1; i++ { // huge remaining demand: E(p) >= E(q)
+		admit(benchWriteStep(0, 1), benchWriteStep(priv, 1000))
+		priv++
+	}
+	admit(benchWriteStep(0, 1), benchWriteStep(priv, 1)) // tiny: E(p) < E(q), last
+	priv++
+	req := admit(benchWriteStep(0, 1), benchWriteStep(priv, 100))
+	if out := s.Request(req); out.Decision != sched.Delay {
+		b.Fatalf("expected a steady Delay, got %v", out.Decision)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Request(req); out.Decision != sched.Delay {
+			b.Fatalf("decision drifted to %v", out.Decision)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "decision_ns_per_op")
+}
 
 // BenchmarkSustainedTPSAtSLO runs the service-mode capacity probe per
 // iteration — bisecting the open arrival rate for the largest sustained

@@ -42,6 +42,7 @@ func main() {
 		k         = flag.Int("k", 2, "LOW conflict bound K")
 		check     = flag.Bool("check", false, "verify conflict-serializability of the run")
 		parallel  = flag.Int("parallel-run", 0, "sharded-calendar PDES: 0 = merged calendar, 1 = sharded single-core, N>1 = N wave-prepare workers (results byte-identical; see DESIGN.md)")
+		decisionW = flag.Int("decision-workers", 0, "GOW/LOW parallel decision engine: N>1 fans candidate scoring over N workers (results byte-identical; see DESIGN.md §17)")
 		progress  = flag.Bool("progress", false, "print engine execution stats after the run: events/sec, safe waves, per-shard utilization")
 		backend   = flag.String("backend", "sim", "execution backend: sim (virtual clock) or live (real goroutine-per-DPN execution)")
 		txns      = flag.Int("txns", 64, "closed-batch size for -backend live and -compare")
@@ -170,6 +171,7 @@ func main() {
 	params := batchsched.DefaultParams()
 	params.MPL = *mpl
 	params.K = *k
+	params.DecisionWorkers = *decisionW
 
 	var gen batchsched.Generator
 	switch *wl {

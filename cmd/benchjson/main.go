@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,11 +60,24 @@ type benchResult struct {
 	// SLO. Higher is better; -compare treats a drop beyond -max-regress as a
 	// regression, so open-stream capacity erosion is gated like a slowdown.
 	SustainedTPSAtSLO float64 `json:"sustained_tps_at_slo,omitempty"`
+	// DecisionNsPerOp is the scheduler decision latency reported by the
+	// BenchmarkDecision* family (b.ReportMetric(..., "decision_ns_per_op")):
+	// the wall time of one GOW/LOW lock-request decision. Lower is better;
+	// -compare treats growth beyond -max-regress percent as a regression.
+	DecisionNsPerOp float64 `json:"decision_ns_per_op,omitempty"`
 }
 
 type snapshot struct {
 	Note    string                 `json:"note,omitempty"`
 	Benches map[string]benchResult `json:"benches"`
+	// GOMAXPROCS is the worker-parallelism the benchmarks ran under (parsed
+	// from the standard -N benchmark-name suffix; 1 when absent) and NumCPU
+	// the recording host's core count. Compare mode refuses to judge
+	// core-normalized throughput (events/sec/core) across snapshots taken
+	// at different GOMAXPROCS — the figures are not commensurable — and
+	// says so instead of failing spuriously.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
 }
 
 type speedup struct {
@@ -73,6 +87,9 @@ type speedup struct {
 	// PerCore is post/pre events_per_sec_per_core (>1 means post pushes
 	// more events through each core it occupies).
 	PerCore float64 `json:"per_core,omitempty"`
+	// Decision is pre/post decision_ns_per_op (>1 means post decides
+	// faster).
+	Decision float64 `json:"decision,omitempty"`
 }
 
 type baseline struct {
@@ -83,8 +100,9 @@ type baseline struct {
 	Speedup map[string]speedup `json:"speedup,omitempty"`
 }
 
-func parseBench(r *bufio.Scanner) (map[string]benchResult, error) {
+func parseBench(r *bufio.Scanner) (map[string]benchResult, int, error) {
 	out := map[string]benchResult{}
+	gomaxprocs := 1 // the suffix is omitted when GOMAXPROCS is 1
 	for r.Scan() {
 		line := strings.TrimSpace(r.Text())
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -96,8 +114,9 @@ func parseBench(r *bufio.Scanner) (map[string]benchResult, error) {
 		}
 		name := f[0]
 		if i := strings.LastIndexByte(name, '-'); i > 0 { // strip -GOMAXPROCS
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				gomaxprocs = n
 			}
 		}
 		var br benchResult
@@ -125,14 +144,16 @@ func parseBench(r *bufio.Scanner) (map[string]benchResult, error) {
 				br.ObsOverhead = v
 			case "sustained_tps_at_slo":
 				br.SustainedTPSAtSLO = v
+			case "decision_ns_per_op":
+				br.DecisionNsPerOp = v
 			}
 		}
 		if br.NsPerOp == 0 {
-			return nil, fmt.Errorf("benchjson: no ns/op on line %q", line)
+			return nil, 0, fmt.Errorf("benchjson: no ns/op on line %q", line)
 		}
 		out[strings.TrimPrefix(name, "Benchmark")] = br
 	}
-	return out, r.Err()
+	return out, gomaxprocs, r.Err()
 }
 
 func main() {
@@ -152,7 +173,7 @@ func main() {
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
-	benches, err := parseBench(sc)
+	benches, gomaxprocs, err := parseBench(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -175,7 +196,10 @@ func main() {
 	if bl.Snapshots == nil {
 		bl.Snapshots = map[string]snapshot{}
 	}
-	bl.Snapshots[*name] = snapshot{Note: *note, Benches: benches}
+	bl.Snapshots[*name] = snapshot{
+		Note: *note, Benches: benches,
+		GOMAXPROCS: gomaxprocs, NumCPU: runtime.NumCPU(),
+	}
 
 	pre, okPre := bl.Snapshots["pre"]
 	post, okPost := bl.Snapshots["post"]
@@ -200,6 +224,9 @@ func main() {
 			}
 			if q := pre.Benches[n].EventsPerSecPerCore; q > 0 && p.EventsPerSecPerCore > 0 {
 				s.PerCore = round2(p.EventsPerSecPerCore / q)
+			}
+			if p.DecisionNsPerOp > 0 && pre.Benches[n].DecisionNsPerOp > 0 {
+				s.Decision = round2(pre.Benches[n].DecisionNsPerOp / p.DecisionNsPerOp)
 			}
 			bl.Speedup[n] = s
 		}
@@ -245,12 +272,16 @@ func loadBaseline(path string) (snapshot, error) {
 
 // runCompare diffs the "post" snapshots of two baseline files and returns
 // the process exit code: 0 when every shared benchmark's ns/op — and, where
-// both snapshots report them, events/op, events/sec/core, obs_overhead and
-// sustained_tps_at_slo — regression stays within maxRegress percent, 1
-// otherwise. Events/op is deterministic per workload, so any growth there is
-// a real coalescing loss rather than machine noise; events/sec/core and
-// sustained_tps_at_slo regress by DROPPING (higher is better); obs_overhead
-// regresses by growing (1.0 = instrumentation is free).
+// both snapshots report them, events/op, events/sec/core, obs_overhead,
+// sustained_tps_at_slo and decision_ns_per_op — regression stays within
+// maxRegress percent, 1 otherwise. Events/op is deterministic per workload,
+// so any growth there is a real coalescing loss rather than machine noise;
+// events/sec/core and sustained_tps_at_slo regress by DROPPING (higher is
+// better); obs_overhead and decision_ns_per_op regress by growing. The
+// events/sec/core gate only runs when both snapshots were taken at the same
+// GOMAXPROCS — a per-core figure from an 8-way run is not commensurable
+// with one from a sequential run, so a mismatch skips that column (with a
+// notice) instead of failing spuriously.
 func runCompare(oldPath, newPath string, maxRegress float64) int {
 	oldSnap, err := loadBaseline(oldPath)
 	if err != nil {
@@ -261,6 +292,12 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
+	}
+	sameCores := oldSnap.GOMAXPROCS == 0 || newSnap.GOMAXPROCS == 0 ||
+		oldSnap.GOMAXPROCS == newSnap.GOMAXPROCS
+	if !sameCores {
+		fmt.Printf("note: snapshots ran at GOMAXPROCS %d vs %d; skipping the events/sec/core gate (not commensurable per-core)\n",
+			oldSnap.GOMAXPROCS, newSnap.GOMAXPROCS)
 	}
 
 	names := make([]string, 0, len(oldSnap.Benches))
@@ -275,7 +312,7 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-12s %14s %14s %9s %14s %14s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta", "ev/s/core", "obs_ovh", "tps@slo")
+	fmt.Printf("%-12s %14s %14s %9s %14s %14s %12s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "events delta", "ev/s/core", "obs_ovh", "tps@slo", "decision")
 	failed := false
 	for _, n := range names {
 		o, nw := oldSnap.Benches[n], newSnap.Benches[n]
@@ -295,10 +332,19 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 			}
 		}
 		coreCol := "-"
-		if o.EventsPerSecPerCore > 0 && nw.EventsPerSecPerCore > 0 {
+		if o.EventsPerSecPerCore > 0 && nw.EventsPerSecPerCore > 0 && sameCores {
 			coreDelta := (nw.EventsPerSecPerCore/o.EventsPerSecPerCore - 1) * 100
 			coreCol = fmt.Sprintf("%+.1f%%", coreDelta)
 			if -coreDelta > maxRegress {
+				mark = "  REGRESSION"
+				failed = true
+			}
+		}
+		decCol := "-"
+		if o.DecisionNsPerOp > 0 && nw.DecisionNsPerOp > 0 {
+			decDelta := (nw.DecisionNsPerOp/o.DecisionNsPerOp - 1) * 100
+			decCol = fmt.Sprintf("%+.1f%%", decDelta)
+			if decDelta > maxRegress {
 				mark = "  REGRESSION"
 				failed = true
 			}
@@ -321,10 +367,10 @@ func runCompare(oldPath, newPath string, maxRegress float64) int {
 				failed = true
 			}
 		}
-		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s %14s %12s %12s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, coreCol, obsCol, tpsCol, mark)
+		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%% %14s %14s %12s %12s %12s%s\n", n, o.NsPerOp, nw.NsPerOp, delta, evCol, coreCol, obsCol, tpsCol, decCol, mark)
 	}
 	if failed {
-		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op, events/op, events/sec/core, or obs_overhead\n", maxRegress)
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.1f%% in ns/op, events/op, events/sec/core, obs_overhead, or decision_ns_per_op\n", maxRegress)
 		return 1
 	}
 	fmt.Printf("OK: all %d shared benchmarks within %.1f%% of baseline\n", len(names), maxRegress)

@@ -33,6 +33,7 @@ import (
 	"batchsched/internal/model"
 	"batchsched/internal/obs"
 	"batchsched/internal/obs/stream"
+	"batchsched/internal/pool"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 )
@@ -233,6 +234,12 @@ type Backend struct {
 	blocked map[model.FileID][]*texec
 	delayed []*texec
 
+	// workPool backs the scheduler's parallel decision engine when the
+	// scheduler implements sched.DecisionParallel with DecisionWorkers > 1
+	// (nil otherwise); screenBuf is fillWindowLive's prescreen batch.
+	workPool  *pool.Pool
+	screenBuf []*model.Txn
+
 	nextID     int64
 	active     int
 	completed  int
@@ -257,7 +264,7 @@ func New(cfg Config, s sched.Scheduler) (*Backend, error) {
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 30 * time.Second
 	}
-	return &Backend{
+	b := &Backend{
 		cfg:        cfg,
 		sch:        s,
 		met:        metrics.NewCollector(cfg.NumNodes, 0),
@@ -265,7 +272,24 @@ func New(cfg Config, s sched.Scheduler) (*Backend, error) {
 		place:      engine.Placement{NumNodes: cfg.NumNodes, DD: cfg.DD},
 		blocked:    make(map[model.FileID][]*texec),
 		restartRNG: sim.NewRNG(1).Stream("restart"),
-	}, nil
+	}
+	// The CN goroutine owns the scheduler either way; a decision lane only
+	// parallelizes the evaluation inside one scheduler call, so decisions
+	// stay byte-identical to the sequential path (DESIGN.md §17). Workers
+	// start lazily, so a pool that never fans out costs nothing.
+	if dp, ok := s.(sched.DecisionParallel); ok && dp.DecisionWorkers() > 1 {
+		b.workPool = pool.New("live", dp.DecisionWorkers())
+		dp.SetDecisionLane(b.workPool.Lane("decision"))
+	}
+	return b, nil
+}
+
+// stopPool shuts the decision workers down (Run/RunService call it on exit
+// so a run leaves no goroutines behind).
+func (b *Backend) stopPool() {
+	if b.workPool != nil {
+		b.workPool.Stop()
+	}
 }
 
 // Now returns the wall time elapsed since New, in sim.Time microseconds
@@ -526,6 +550,7 @@ func (b *Backend) Run() metrics.Summary {
 		close(d.in)
 	}
 	b.wg.Wait()
+	b.stopPool()
 	for _, d := range b.dpns {
 		b.met.DPNBusy(d.id, sim.Time(d.busy/time.Microsecond))
 		b.violations += d.violations

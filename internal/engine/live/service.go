@@ -8,6 +8,7 @@ import (
 	"batchsched/internal/admit"
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
+	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 	"batchsched/internal/workload"
 )
@@ -196,6 +197,7 @@ func (b *Backend) RunService(gen workload.Generator, arr workload.Arrivals, seed
 		close(d.in)
 	}
 	b.wg.Wait()
+	b.stopPool()
 	for _, d := range b.dpns {
 		b.met.DPNBusy(d.id, sim.Time(d.busy/time.Microsecond))
 		b.violations += d.violations
@@ -265,15 +267,25 @@ func (b *Backend) runEpochLive() {
 
 // fillWindowLive pops queued arrivals into the in-flight window (window
 // counts pops not yet committed or evicted, parked retries included, so the
-// MPL cap holds across scheduler refusals).
+// MPL cap holds across scheduler refusals). The popped batch is handed to
+// AdmitScreener schedulers for a concurrent prescreen before the one-by-one
+// Admit jobs run (mirrors machine.fillWindow; enqueue order is unchanged).
 func (b *Backend) fillWindowLive(now sim.Time) {
+	start := len(b.jobs)
 	for b.window < b.cfg.Service.MPL {
 		it, ok := b.svc.Pop(now)
 		if !ok {
-			return
+			break
 		}
 		b.window++
 		b.jobs = append(b.jobs, liveJob{op: opAdmit, e: it.Payload.(*texec)})
+	}
+	if as, ok := b.sch.(sched.AdmitScreener); ok && len(b.jobs)-start > 1 {
+		b.screenBuf = b.screenBuf[:0]
+		for _, j := range b.jobs[start:] {
+			b.screenBuf = append(b.screenBuf, j.e.txn)
+		}
+		as.PrescreenAdmits(b.screenBuf)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"batchsched/internal/metrics"
 	"batchsched/internal/model"
 	"batchsched/internal/obs"
+	"batchsched/internal/pool"
 	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 	"batchsched/internal/workload"
@@ -118,15 +119,25 @@ type Machine struct {
 	delayedSpare []*exec
 
 	// Sharded-PDES state (Config.ParallelRun; parallel.go): the safe-wave
-	// run loop's member buffer, the prepare-phase worker pool (nil until the
-	// first multi-member wave), and the wave statistics surfaced by
-	// WaveStats for -progress output.
-	shardedRun  bool
-	waveWorkers int
-	waveBuf     []*sim.Event
-	pool        *wavePool
-	waves       uint64
-	waveMembers uint64
+	// run loop's member buffer, the prepare-phase lane of the shared worker
+	// pool, and the wave statistics surfaced by WaveStats for -progress
+	// output. workPool is the one pool budgeted for both wave preparation
+	// and scheduler decision fan-out (DESIGN.md §17); its goroutines start
+	// lazily, so machines that never hit a parallel phase pay nothing.
+	shardedRun      bool
+	waveWorkers     int
+	decisionWorkers int
+	waveBuf         []*sim.Event
+	workPool        *pool.Pool
+	waveLane        *pool.Lane
+	waveRun         waveRun
+	waves           uint64
+	waveMembers     uint64
+
+	// Service-mode batch-admission buffers (service.go): fillWindow pops the
+	// epoch's batch here so AdmitScreener schedulers can prescreen it.
+	fillBuf   []*exec
+	screenBuf []*model.Txn
 
 	// Hot-path free lists (zero steady-state allocations per event): spent
 	// stepRuns and their cohorts are recycled when a step completes cleanly,
@@ -222,6 +233,22 @@ func New(cfg Config, s sched.Scheduler, gen Generator, rng *sim.RNG) (*Machine, 
 	}
 	if la, ok := s.(sched.LoadAware); ok {
 		la.SetLoadProbe(m.fileLoad)
+	}
+	if dp, ok := s.(sched.DecisionParallel); ok && dp.DecisionWorkers() > 1 {
+		m.decisionWorkers = dp.DecisionWorkers()
+	}
+	// One pool budgets both parallel phases: wave preparation and scheduler
+	// decision fan-out run from disjoint regions of the event loop (a wave
+	// never overlaps a CN decision), so they share workers instead of
+	// doubling the goroutine footprint.
+	if budget := max(m.waveWorkers, m.decisionWorkers); budget > 1 {
+		m.workPool = pool.New("machine", budget)
+		if m.waveWorkers > 1 {
+			m.waveLane = m.workPool.Lane("wave-prepare")
+		}
+		if m.decisionWorkers > 1 {
+			s.(sched.DecisionParallel).SetDecisionLane(m.workPool.Lane("decision"))
+		}
 	}
 	if err := m.wireFaults(rng); err != nil {
 		return nil, err

@@ -2,8 +2,6 @@ package machine
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"batchsched/internal/sim"
 )
@@ -110,7 +108,8 @@ func (m *Machine) dispatchWave(wave []*sim.Event) {
 }
 
 // prepareWave assigns each member its dispatch index and runs the prepare
-// phase on the worker pool (started lazily on the first such wave).
+// phase on the shared pool's wave lane (workers start lazily on the first
+// such wave).
 func (m *Machine) prepareWave(wave []*sim.Event) {
 	base := m.eng.Executed()
 	for i, ev := range wave {
@@ -118,18 +117,17 @@ func (m *Machine) prepareWave(wave []*sim.Event) {
 		d.inWave = true
 		d.waveIdx = base + uint64(i) + 1
 	}
-	if m.pool == nil {
-		m.pool = newWavePool(m, m.waveWorkers)
-	}
-	m.pool.run(wave, wave[0].Time())
+	m.waveRun.m = m
+	m.waveRun.wave, m.waveRun.t = wave, wave[0].Time()
+	m.waveLane.Run(&m.waveRun, len(wave), m.waveWorkers)
+	m.waveRun.wave = nil
 }
 
-// stopPool shuts the wave workers down (Run/RunClosed call it on exit so a
-// run leaves no goroutines behind).
+// stopPool shuts the shared worker pool down (Run/RunClosed call it on exit
+// so a run leaves no goroutines behind).
 func (m *Machine) stopPool() {
-	if m.pool != nil {
-		m.pool.stop()
-		m.pool = nil
+	if m.workPool != nil {
+		m.workPool.Stop()
 	}
 }
 
@@ -155,55 +153,15 @@ func (m *Machine) ShardUtilization(buf []float64) []float64 {
 	return buf
 }
 
-// wavePool is the persistent worker pool of the prepare phase. Members are
-// claimed with an atomic cursor; the kick channel publishes the wave to the
-// workers (happens-before for the coordinator's writes) and the WaitGroup
-// publishes the workers' node mutations back to the coordinator.
-type wavePool struct {
+// waveRun adapts the prepare phase to pool.Runner: task i replays member
+// i's shard up to the wave instant. It touches only that node's own state,
+// so any worker may claim any member.
+type waveRun struct {
 	m    *Machine
-	n    int
-	kick chan struct{}
-	wg   sync.WaitGroup
 	wave []*sim.Event
 	t    sim.Time
-	next atomic.Int64
 }
 
-func newWavePool(m *Machine, n int) *wavePool {
-	p := &wavePool{m: m, n: n, kick: make(chan struct{}, n)}
-	for i := 0; i < n; i++ {
-		go p.worker()
-	}
-	return p
+func (w *waveRun) RunTask(_, i int) {
+	w.m.dpns[w.wave[i].Shard()].wavePrepare(w.t)
 }
-
-func (p *wavePool) worker() {
-	for range p.kick {
-		for {
-			i := int(p.next.Add(1)) - 1
-			if i >= len(p.wave) {
-				break
-			}
-			p.m.dpns[p.wave[i].Shard()].wavePrepare(p.t)
-		}
-		p.wg.Done()
-	}
-}
-
-// run prepares one wave and returns when every member is done.
-func (p *wavePool) run(wave []*sim.Event, t sim.Time) {
-	p.wave, p.t = wave, t
-	p.next.Store(0)
-	n := p.n
-	if n > len(wave) {
-		n = len(wave)
-	}
-	p.wg.Add(n)
-	for i := 0; i < n; i++ {
-		p.kick <- struct{}{}
-	}
-	p.wg.Wait()
-	p.wave = nil
-}
-
-func (p *wavePool) stop() { close(p.kick) }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"batchsched/internal/admit"
+	"batchsched/internal/sched"
 	"batchsched/internal/sim"
 )
 
@@ -75,15 +76,35 @@ func (m *Machine) runEpoch(now sim.Time) {
 // or the queue empties. window counts transactions that left the queue and
 // have not committed or been evicted — including scheduler-refused
 // admissions parked in admitQ — so the MPL cap holds across retries.
+//
+// The epoch's batch is popped first and only then offered to tryAdmit:
+// tryAdmit just enqueues a CN job (it touches neither the service queue nor
+// the window counter), so the pop sequence — and with it every downstream
+// decision — is byte-identical to the old pop-and-admit interleaving. The
+// intermediate batch is what lets AdmitScreener schedulers prescreen all
+// candidates concurrently before the one-by-one Admit calls (parallel.go).
 func (m *Machine) fillWindow(now sim.Time) {
+	batch := m.fillBuf[:0]
 	for m.window < m.svc.Policy().MPL {
 		it, ok := m.svc.Pop(now)
 		if !ok {
-			return
+			break
 		}
 		m.window++
-		m.tryAdmit(it.Payload.(*exec))
+		batch = append(batch, it.Payload.(*exec))
 	}
+	if as, ok := m.sch.(sched.AdmitScreener); ok && len(batch) > 1 {
+		m.screenBuf = m.screenBuf[:0]
+		for _, e := range batch {
+			m.screenBuf = append(m.screenBuf, e.txn)
+		}
+		as.PrescreenAdmits(m.screenBuf)
+	}
+	for i, e := range batch {
+		batch[i] = nil // don't pin retired execs through the buffer
+		m.tryAdmit(e)
+	}
+	m.fillBuf = batch[:0]
 }
 
 // evictOne removes the blocked or policy-delayed batch-class transaction

@@ -1,0 +1,107 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// sumRun records which worker ran each task and bumps a counter per task.
+type sumRun struct {
+	hits    []atomic.Int32
+	workers []atomic.Int32
+}
+
+func (r *sumRun) RunTask(worker, task int) {
+	r.hits[task].Add(1)
+	r.workers[task].Store(int32(worker + 1))
+}
+
+func newSumRun(n int) *sumRun {
+	return &sumRun{hits: make([]atomic.Int32, n), workers: make([]atomic.Int32, n)}
+}
+
+func checkAll(t *testing.T, r *sumRun, maxWorker int) {
+	t.Helper()
+	for i := range r.hits {
+		if got := r.hits[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, got)
+		}
+		if w := int(r.workers[i].Load()) - 1; w < 0 || w > maxWorker {
+			t.Fatalf("task %d ran on worker %d, want 0..%d", i, w, maxWorker)
+		}
+	}
+}
+
+func TestPoolRunsEveryTaskOnce(t *testing.T) {
+	p := New("test", 4)
+	defer p.Stop()
+	l := p.Lane("batch")
+	for _, tasks := range []int{1, 2, 3, 16, 100} {
+		r := newSumRun(tasks)
+		l.Run(r, tasks, 4)
+		checkAll(t, r, 3)
+	}
+}
+
+// TestPoolWorkerCap: capping maxWorkers below the pool size must still run
+// every task; with cap 1 the batch runs inline on worker 0 in order.
+func TestPoolWorkerCap(t *testing.T) {
+	p := New("test", 8)
+	defer p.Stop()
+	l := p.Lane("capped")
+	r := newSumRun(32)
+	l.Run(r, 32, 2)
+	checkAll(t, r, 7) // any worker may grab a token; cap bounds concurrency, not identity
+
+	r = newSumRun(8)
+	l.Run(r, 8, 1)
+	for i := range r.workers {
+		if r.workers[i].Load() != 1 {
+			t.Fatalf("cap=1 task %d ran on worker %d, want 0 (inline)", i, r.workers[i].Load()-1)
+		}
+	}
+}
+
+// TestPoolStoppedRunsInline: after Stop, Run degrades to the sequential path
+// instead of deadlocking on dead workers.
+func TestPoolStoppedRunsInline(t *testing.T) {
+	p := New("test", 4)
+	l := p.Lane("x")
+	l.Run(newSumRun(4), 4, 4) // start workers
+	p.Stop()
+	p.Stop() // idempotent
+	r := newSumRun(6)
+	l.Run(r, 6, 4)
+	checkAll(t, r, 0)
+}
+
+// TestPoolNeverStartedStopsClean: a pool that never went parallel must not
+// leak goroutines or panic on Stop.
+func TestPoolNeverStartedStopsClean(t *testing.T) {
+	p := New("test", 4)
+	l := p.Lane("x")
+	r := newSumRun(1)
+	l.Run(r, 1, 4) // single task: inline, workers never start
+	checkAll(t, r, 0)
+	p.Stop()
+}
+
+func TestPoolRunZeroAlloc(t *testing.T) {
+	p := New("test", 4)
+	defer p.Stop()
+	l := p.Lane("steady")
+	r := newSumRun(64)
+	reset := func() {
+		for i := range r.hits {
+			r.hits[i].Store(0)
+		}
+	}
+	l.Run(r, 64, 4) // warm up: start workers
+	reset()
+	avg := testing.AllocsPerRun(50, func() {
+		l.Run(r, 64, 4)
+	})
+	if avg != 0 {
+		t.Fatalf("Run allocates %.1f times per batch, want 0", avg)
+	}
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"testing"
+
+	"batchsched/internal/model"
+	"batchsched/internal/pool"
+)
+
+// mutStep is a declared exclusive write of the given cost.
+func mutStep(file int, cost float64) model.Step {
+	return model.Step{File: model.FileID(file), Write: true, LockMode: model.X,
+		Cost: cost, DeclaredCost: cost}
+}
+
+// mutLOW builds a LOW instance at a steady Delay point whose sequential
+// candidate walk reaches the *last* conflicter: resident r1 (huge remaining
+// demand, E(p1) >= E(q)) is scanned and passed, resident r2 (tiny, E(p2) <
+// E(q)) triggers the Delay. The per-candidate KWTPG charge therefore counts
+// both candidates — any permutation of the evaluation results moves the
+// early exit and changes Outcome.CPU.
+func mutLOW(t *testing.T, workers int) (Scheduler, *model.Txn, *pool.Pool) {
+	t.Helper()
+	p := DefaultParams()
+	p.DecisionWorkers = workers
+	s := MustNew("LOW", p)
+	var pl *pool.Pool
+	if workers > 1 {
+		pl = pool.New("mutation-test", workers)
+		s.(DecisionParallel).SetDecisionLane(pl.Lane("decision"))
+	}
+	id := int64(1)
+	admit := func(steps ...model.Step) *model.Txn {
+		tx := model.NewTxn(id, 0, steps)
+		id++
+		if ok, _ := s.Admit(tx); !ok {
+			t.Fatal("LOW refused an admission within the K bound")
+		}
+		return tx
+	}
+	admit(mutStep(0, 1), mutStep(1, 1000)) // r1: E(p1) == E(q), scan continues
+	admit(mutStep(0, 1), mutStep(2, 1))    // r2: E(p2) < E(q), delays last
+	req := admit(mutStep(0, 1), mutStep(3, 100))
+	return s, req, pl
+}
+
+// TestMutationCorruptEvalOrder is the mutation test for the parallel
+// decision engine's determinism argument (DESIGN.md §17): deliberately
+// permuting the fanned-out evaluation results between fan-out and replay
+// must produce an output that visibly diverges from the sequential oracle.
+// If this test failed, a real reduction-order bug in the parallel path
+// could slip through the byte-identity differential suite undetected.
+func TestMutationCorruptEvalOrder(t *testing.T) {
+	seq, seqReq, _ := mutLOW(t, 0)
+	want := seq.Request(seqReq)
+	if want.Decision != Delay {
+		t.Fatalf("oracle expected Delay, got %v", want.Decision)
+	}
+
+	par, parReq, pl := mutLOW(t, 4)
+	defer pl.Stop()
+	if got := par.Request(parReq); got != want {
+		t.Fatalf("uncorrupted parallel path diverged: %+v vs %+v", got, want)
+	}
+
+	// Swap E(p1) and E(p2) between fan-out and replay: the replay now sees
+	// the tiny candidate first and exits one KWTPG charge early.
+	testCorruptEvalOrder = func(res []float64) { res[1], res[2] = res[2], res[1] }
+	defer func() { testCorruptEvalOrder = nil }()
+	got := par.Request(parReq)
+	if got == want {
+		t.Fatal("corrupted reduction order went undetected: outputs identical")
+	}
+	if got.Decision != Delay || got.CPU >= want.CPU {
+		t.Fatalf("corruption should surface as an earlier Delay exit (lower CPU): got %+v want < %+v", got, want)
+	}
+
+	// A Delay mutates nothing, so clearing the corruption restores byte
+	// identity — the divergence above was the injected bug, not state drift.
+	testCorruptEvalOrder = nil
+	if got := par.Request(parReq); got != want {
+		t.Fatalf("parallel path stayed diverged after clearing corruption: %+v vs %+v", got, want)
+	}
+}

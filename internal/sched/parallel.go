@@ -1,0 +1,62 @@
+package sched
+
+// Parallel decision engine (DESIGN.md §17). GOW and LOW implement
+// DecisionParallel: when the backend injects a pool lane and
+// Params.DecisionWorkers > 1, LOW scores E(q) and every E(p) concurrently
+// through per-worker wtpg.Overlay arenas against one frozen EvalBase, and
+// GOW fans its Phase-2 per-component chain optimization over the same lane.
+// The sequential control flow is then *replayed* over the precomputed
+// values — same early exits, same CPU charges, same audit entries — so every
+// output is byte-identical to the DecisionWorkers=0 path.
+//
+// They also implement AdmitScreener: service-mode epochs hand the batch of
+// admission candidates to PrescreenAdmits, which runs the (read-only)
+// admission test for each candidate concurrently against the sweep-start
+// graph and caches the rejections. Within a sweep the graph only grows, and
+// both admission tests are monotone under growth — GOW's chain-form test
+// can only get harder (degrees grow, components only merge) and LOW's
+// K-bound sets only gain members — so a cached rejection stays correct until
+// a transaction leaves the graph, at which point the cache is dropped.
+// Accepted candidates always re-run the full test inside Admit, and the
+// cached-reject path returns the identical (ok, cpu) the test would, so
+// admission outcomes are unchanged byte for byte.
+
+import (
+	"batchsched/internal/model"
+	"batchsched/internal/pool"
+)
+
+// DecisionParallel is implemented by schedulers whose decision evaluation
+// can fan out over a worker pool (GOW and LOW). The backend injects a lane
+// of its shared pool when Params.DecisionWorkers > 1; without a lane (or
+// with DecisionWorkers 0/1) the scheduler keeps today's sequential path.
+type DecisionParallel interface {
+	// DecisionWorkers returns the configured fan-out width (Params.
+	// DecisionWorkers); 0 or 1 means the sequential path.
+	DecisionWorkers() int
+	// SetDecisionLane injects the worker-pool lane decisions run on. Call
+	// before the run starts; a nil lane disables the parallel path.
+	SetDecisionLane(*pool.Lane)
+}
+
+// AdmitScreener is implemented by schedulers that can prescreen a batch of
+// admission candidates concurrently (GOW and LOW). The service-mode epoch
+// loop calls it with the window-fill batch before admitting one by one;
+// Admit then consults the cached rejections instead of re-running the test.
+type AdmitScreener interface {
+	PrescreenAdmits(ts []*model.Txn)
+}
+
+// testCorruptEvalOrder, when non-nil, permutes LOW's parallel evaluation
+// results between fan-out and replay. Test-only: the mutation test uses it
+// to prove that a reduction-order bug in the parallel path cannot escape the
+// differential suite (outputs visibly diverge from the sequential oracle).
+var testCorruptEvalOrder func(res []float64)
+
+// decisionWorkers clamps the configured width against an injected lane.
+func decisionWorkers(p Params, lane *pool.Lane) int {
+	if lane == nil || p.DecisionWorkers <= 1 {
+		return 0
+	}
+	return p.DecisionWorkers
+}

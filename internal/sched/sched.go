@@ -110,6 +110,13 @@ type Params struct {
 	// and grant any request whose implied orientations are merely
 	// non-contradictory (first-come orientation instead of the optimal W).
 	GOWGreedy bool
+	// DecisionWorkers fans GOW/LOW candidate scoring out over the backend's
+	// worker pool (DESIGN.md §17). 0 or 1 keeps the sequential decision
+	// path; any value yields byte-identical decisions, CPU charges and audit
+	// streams — parallelism only changes wall-clock time. Takes effect only
+	// when the backend injects a pool lane (machine/engine-live do when the
+	// value is > 1).
+	DecisionWorkers int
 }
 
 // DefaultParams returns the values of the paper's Table 1 (K = 2 as used in

@@ -2,9 +2,12 @@ package wtpg
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"batchsched/internal/model"
+	"batchsched/internal/pool"
 )
 
 // benchChain builds an n-node chain graph with random weights.
@@ -34,6 +37,59 @@ func BenchmarkOptimalChainOrientation(b *testing.B) {
 		if _, err := g.OptimalChainOrientation(RemainingDemand); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkOrientAll measures one full Phase-2 planning pass — the optimal
+// chain orientation over every component of a many-chain WTPG (the
+// per-decision cost GOW pays on each contended lock request, DESIGN.md §17).
+// Set BENCH_DECISION_WORKERS=N to solve components on an N-worker pool
+// (OptimalChainOrientationParallelInto); the plan is byte-identical either
+// way, so the pre/post ratio in BENCH_core.json is a pure wall-clock
+// comparison of the sequential and fanned-out solvers.
+func BenchmarkOrientAll(b *testing.B) {
+	workers, _ := strconv.Atoi(os.Getenv("BENCH_DECISION_WORKERS"))
+	r := rand.New(rand.NewSource(1))
+	g := New()
+	buildChainGraph(r, g, 64, 8)
+	var plan Plan
+	var lane *pool.Lane
+	if workers > 1 {
+		p := pool.New("bench", workers)
+		defer p.Stop()
+		lane = p.Lane("decision")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if lane != nil {
+			err = g.OptimalChainOrientationParallelInto(RemainingDemand, &plan, lane, workers)
+		} else {
+			err = g.OptimalChainOrientationInto(RemainingDemand, &plan)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverlayEvaluate measures LOW's parallel-path E(q) — one overlay
+// evaluation against a frozen base — next to BenchmarkEvaluate's exclusive
+// apply/undo equivalent.
+func BenchmarkOverlayEvaluate(b *testing.B) {
+	g, txns := benchChain(32, 7)
+	t := txns[10]
+	f := t.Steps[0].File
+	var base EvalBase
+	if err := g.BuildEvalBase(RemainingDemand, &base); err != nil {
+		b.Fatal(err)
+	}
+	var ov Overlay
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ov.Evaluate(&base, t, f, model.X)
 	}
 }
 

@@ -91,6 +91,26 @@ func (g *Graph) ChainForm() bool {
 // two endpoints would close a cycle). This is O(active + component) and
 // runs on every admission retry, so it must not clone the graph.
 func (g *Graph) ChainFormAfterAdd(t *model.Txn) bool {
+	return g.chainFormAfterAdd(t, &g.mark, &g.stack)
+}
+
+// AddCheck carries the scratch of a read-only admission check so concurrent
+// prescreen workers (sched's AdmitScreener) can each run
+// ChainFormAfterAddWith without racing on the graph's own scratch buffers.
+type AddCheck struct {
+	mark  []bool
+	stack []int
+}
+
+// ChainFormAfterAddWith is ChainFormAfterAdd using caller-owned scratch. It
+// only reads the graph, so distinct AddChecks may run concurrently — as long
+// as each candidate is tested by exactly one worker (the check lazily warms
+// the candidate's declared-need caches).
+func (g *Graph) ChainFormAfterAddWith(t *model.Txn, ck *AddCheck) bool {
+	return g.chainFormAfterAdd(t, &ck.mark, &ck.stack)
+}
+
+func (g *Graph) chainFormAfterAdd(t *model.Txn, markBuf *[]bool, stackBuf *[]int) bool {
 	var nbrs [2]int64
 	n := 0
 	// Slot order, not insertion order: the outcome (a set test) is
@@ -112,7 +132,7 @@ func (g *Graph) ChainFormAfterAdd(t *model.Txn) bool {
 			return false
 		}
 	}
-	if n == 2 && g.sameComponent(nbrs[0], nbrs[1]) {
+	if n == 2 && g.sameComponentWith(nbrs[0], nbrs[1], markBuf, stackBuf) {
 		return false
 	}
 	return true
@@ -122,13 +142,18 @@ func (g *Graph) ChainFormAfterAdd(t *model.Txn) bool {
 // component (the graph is a union of paths, so this walks at most one
 // path).
 func (g *Graph) sameComponent(x, y int64) bool {
+	return g.sameComponentWith(x, y, &g.mark, &g.stack)
+}
+
+func (g *Graph) sameComponentWith(x, y int64, markBuf *[]bool, stackBuf *[]int) bool {
 	sx, sy := g.slots[x], g.slots[y]
-	mark := resetBools(&g.mark, len(g.ids))
+	mark := resetBools(markBuf, len(g.ids))
+	stack := append((*stackBuf)[:0], sx)
 	mark[sx] = true
-	g.stack = append(g.stack[:0], sx)
-	for len(g.stack) > 0 {
-		v := g.stack[len(g.stack)-1]
-		g.stack = g.stack[:len(g.stack)-1]
+	defer func() { *stackBuf = stack[:0] }()
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if v == sy {
 			return true
 		}
@@ -139,7 +164,7 @@ func (g *Graph) sameComponent(x, y int64) bool {
 			}
 			if !mark[u] {
 				mark[u] = true
-				g.stack = append(g.stack, u)
+				stack = append(stack, u)
 			}
 		}
 	}
@@ -247,7 +272,8 @@ func (g *Graph) OptimalChainOrientationInto(w0 T0Weight, plan *Plan) error {
 		for _, s := range comp {
 			visited[s] = true
 		}
-		value := g.solveChain(comp, w0, plan)
+		var value float64
+		value, plan.pred = g.solveChain(&g.cs, comp, g.cs.path, w0, plan.pred)
 		if value > plan.Value {
 			plan.Value = value
 		}
@@ -331,12 +357,15 @@ type chainEdge struct {
 	fixed Dir     // Undetermined if free; AToB meaning "forward" here, BToA "backward"
 }
 
-// solveChain minimizes the critical path of one path component and records
-// the chosen orientation into plan. It returns the component's minimal
-// critical-path value.
-func (g *Graph) solveChain(comp []int, w0 T0Weight, plan *Plan) float64 {
+// solveChain minimizes the critical path of one path component (slots comp
+// in path order, joined by path[i] between comp[i] and comp[i+1]) and
+// appends the chosen orientation — exactly len(comp)-1 entries — to pred,
+// returning the component's minimal critical-path value and the extended
+// slice. It only reads the graph and writes cs, so distinct scratches may
+// solve distinct components concurrently.
+func (g *Graph) solveChain(cs *chainScratch, comp []int, path []*edge, w0 T0Weight, pred []planEdge) (float64, []planEdge) {
 	m := len(comp)
-	r := resetFloats(&g.cs.r, m)
+	r := resetFloats(&cs.r, m)
 	maxR := 0.0
 	for i, s := range comp {
 		r[i] = w0(g.txnAt[s])
@@ -345,11 +374,11 @@ func (g *Graph) solveChain(comp []int, w0 T0Weight, plan *Plan) float64 {
 		}
 	}
 	if m == 1 {
-		return maxR
+		return maxR, pred
 	}
-	edges := g.cs.edges[:0]
+	edges := cs.edges[:0]
 	for i := 0; i < m-1; i++ {
-		e := g.cs.path[i]
+		e := path[i]
 		var ce chainEdge
 		if comp[i] == e.sa {
 			ce.f, ce.b = e.wAB, e.wBA
@@ -367,11 +396,11 @@ func (g *Graph) solveChain(comp []int, w0 T0Weight, plan *Plan) float64 {
 		}
 		edges = append(edges, ce)
 	}
-	g.cs.edges = edges
+	cs.edges = edges
 
 	// Candidate critical values: every r_s, every forward contiguous sum
 	// r_s + Σ f, every backward contiguous sum r_s + Σ b.
-	cands := append(g.cs.cands[:0], r...)
+	cands := append(cs.cands[:0], r...)
 	for s := 0; s < m; s++ {
 		sum := 0.0
 		for j := s; j < m-1; j++ {
@@ -386,37 +415,37 @@ func (g *Graph) solveChain(comp []int, w0 T0Weight, plan *Plan) float64 {
 	}
 	sortFloats(cands)
 	cands = dedupFloats(cands)
-	g.cs.cands = cands
+	cs.cands = cands
 	// Binary search the smallest feasible candidate >= maxR.
 	lo := sort.SearchFloat64s(cands, maxR)
 	hi := len(cands) - 1
 	// The largest candidate is always feasible (it bounds every run value).
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if feasible, _ := g.chainFeasible(r, edges, cands[mid]); feasible {
+		if feasible, _ := chainFeasible(cs, r, edges, cands[mid]); feasible {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
 	value := cands[lo]
-	_, dirs := g.chainFeasible(r, edges, value)
+	_, dirs := chainFeasible(cs, r, edges, value)
 	for i, forward := range dirs {
 		a, b := pairKey(g.ids[comp[i]], g.ids[comp[i+1]])
 		winner := g.ids[comp[i]]
 		if !forward {
 			winner = g.ids[comp[i+1]]
 		}
-		plan.pred = append(plan.pred, planEdge{a: a, b: b, winner: winner})
+		pred = append(pred, planEdge{a: a, b: b, winner: winner})
 	}
-	return value
+	return value, pred
 }
 
 // chainFeasible decides whether an orientation of the free edges exists such
 // that every directed run's path value stays <= x, and returns one such
 // orientation (true = forward) when it does. The returned slice is scratch,
 // valid until the next call.
-func (g *Graph) chainFeasible(r []float64, edges []chainEdge, x float64) (bool, []bool) {
+func chainFeasible(cs *chainScratch, r []float64, edges []chainEdge, x float64) (bool, []bool) {
 	for _, ri := range r {
 		if ri > x {
 			return false, nil
@@ -426,12 +455,12 @@ func (g *Graph) chainFeasible(r []float64, edges []chainEdge, x float64) (bool, 
 	n := len(edges)
 	// sf[i]: minimal open forward-run value with edge i forward; sb[i]:
 	// minimal open backward-run weight-sum with edge i backward.
-	sf := resetFloats(&g.cs.sf, n)
-	sb := resetFloats(&g.cs.sb, n)
+	sf := resetFloats(&cs.sf, n)
+	sb := resetFloats(&cs.sb, n)
 	// fromF[i] records whether state (i, dir) was reached from a forward
 	// state at i-1 (used for reconstruction).
-	fromFf := resetBools(&g.cs.fromFf, n)
-	fromFb := resetBools(&g.cs.fromFb, n)
+	fromFf := resetBools(&cs.fromFf, n)
+	fromFb := resetBools(&cs.fromFb, n)
 	for i := 0; i < n; i++ {
 		sf[i], sb[i] = inf, inf
 		allowF := edges[i].fixed != BToA
@@ -493,7 +522,7 @@ func (g *Graph) chainFeasible(r []float64, edges []chainEdge, x float64) (bool, 
 		return true, nil
 	}
 	// Reconstruct.
-	dirs := resetBools(&g.cs.dirs, n)
+	dirs := resetBools(&cs.dirs, n)
 	forward := sf[n-1] < inf
 	for i := n - 1; i >= 0; i-- {
 		dirs[i] = forward

@@ -1,0 +1,107 @@
+package wtpg
+
+// Parallel chain orientation (DESIGN.md §17): GOW's Phase-2 plan solves one
+// independent optimization per path component, so components fan out over
+// the decision worker pool. Determinism is by construction rather than by
+// reduction order: components are enumerated sequentially (identical to the
+// sequential visit), each component of m slots owns exactly m-1 plan-edge
+// cells at a precomputed offset of the plan's pred array, workers solve with
+// private scratch arenas and write only their own cells and value slot, and
+// the coordinator folds the values with an order-independent max. The
+// pre-sort pred array is therefore byte-identical to the sequential one, and
+// sortPred is deterministic, so the whole Plan is.
+
+import (
+	"fmt"
+
+	"batchsched/internal/pool"
+)
+
+// planParallel is the flattened component enumeration plus the per-worker
+// solver scratch, kept on the Graph so steady-state fan-out allocates
+// nothing. With ncomp components totalling n slots, component c's slots are
+// slots[compOff[c]:compOff[c+1]], its path edges (and its pred cells in the
+// plan) start at compOff[c]-c — each component has one fewer edge than
+// slots, so offsets are derived, not stored.
+type planParallel struct {
+	g       *Graph
+	slots   []int
+	compOff []int
+	paths   []*edge
+	vals    []float64
+	cs      []chainScratch
+	w0      T0Weight
+	plan    *Plan
+}
+
+// RunTask solves component c with worker w's scratch. The pred target is a
+// zero-length slice over the component's preallocated cells, so solveChain's
+// appends land in place — deterministic index-ordered placement with no
+// copying and no reallocation.
+func (pp *planParallel) RunTask(worker, c int) {
+	lo, hi := pp.compOff[c], pp.compOff[c+1]
+	comp := pp.slots[lo:hi]
+	off := lo - c
+	path := pp.paths[off : hi-(c+1)]
+	pred := pp.plan.pred[off : off : off+(hi-lo-1)]
+	pp.vals[c], _ = pp.g.solveChain(&pp.cs[worker], comp, path, pp.w0, pred)
+}
+
+// OptimalChainOrientationParallelInto is OptimalChainOrientationInto with
+// per-component solving fanned out over the lane, capped at maxWorkers. The
+// resulting Plan is byte-identical to the sequential one; a nil lane or a
+// cap of 0/1 falls back to the sequential path outright.
+func (g *Graph) OptimalChainOrientationParallelInto(w0 T0Weight, plan *Plan, lane *pool.Lane, maxWorkers int) error {
+	if lane == nil || maxWorkers <= 1 {
+		return g.OptimalChainOrientationInto(w0, plan)
+	}
+	if !g.ChainForm() {
+		return fmt.Errorf("wtpg: graph is not in chain form")
+	}
+	plan.reset()
+	pp := &g.pp
+	pp.slots = pp.slots[:0]
+	pp.compOff = pp.compOff[:0]
+	pp.paths = pp.paths[:0]
+	// Enumerate components sequentially (pathComponent shares the graph's
+	// scratch), flattening slots and path edges in visit order.
+	visited := resetBools(&g.visited, len(g.ids))
+	for start, lv := range g.live {
+		if !lv || visited[start] {
+			continue
+		}
+		comp := g.pathComponent(start)
+		for _, s := range comp {
+			visited[s] = true
+		}
+		pp.compOff = append(pp.compOff, len(pp.slots))
+		pp.slots = append(pp.slots, comp...)
+		pp.paths = append(pp.paths, g.cs.path...)
+	}
+	ncomp := len(pp.compOff)
+	pp.compOff = append(pp.compOff, len(pp.slots))
+	if ncomp == 0 {
+		plan.sortPred()
+		return nil
+	}
+	total := len(pp.slots) - ncomp
+	if cap(plan.pred) < total {
+		plan.pred = make([]planEdge, total)
+	} else {
+		plan.pred = plan.pred[:total]
+	}
+	pp.vals = resetFloats(&pp.vals, ncomp)
+	if nw := lane.Workers(); len(pp.cs) < nw {
+		pp.cs = append(pp.cs, make([]chainScratch, nw-len(pp.cs))...)
+	}
+	pp.g, pp.w0, pp.plan = g, w0, plan
+	lane.Run(pp, ncomp, maxWorkers)
+	pp.w0, pp.plan = nil, nil
+	for _, v := range pp.vals {
+		if v > plan.Value {
+			plan.Value = v
+		}
+	}
+	plan.sortPred()
+	return nil
+}

@@ -1,0 +1,116 @@
+package wtpg
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"batchsched/internal/model"
+	"batchsched/internal/pool"
+)
+
+// buildChainGraph adds n transactions that pairwise conflict only along
+// random disjoint chains (GOW's chain-form invariant), orienting a few edges
+// to exercise the fixed-direction handling.
+func buildChainGraph(r *rand.Rand, g *Graph, chains, maxLen int) {
+	id := int64(1)
+	file := 0
+	for c := 0; c < chains; c++ {
+		n := 1 + r.Intn(maxLen)
+		prev := model.FileID(-1)
+		for i := 0; i < n; i++ {
+			// Each chain member shares one file with its predecessor and one
+			// with its successor; files are globally unique otherwise.
+			var files []model.FileID
+			if prev >= 0 {
+				files = append(files, prev)
+			}
+			next := model.FileID(file)
+			file++
+			files = append(files, next)
+			g.Add(randTxn(r, id, files...))
+			id++
+			prev = next
+		}
+	}
+	// Orient ~1/4 of the edges (closure keeps the graph consistent).
+	ids := make([]int64, 0, int(id)-1)
+	for x := int64(1); x < id; x++ {
+		if g.Has(x) {
+			ids = append(ids, x)
+		}
+	}
+	for try := 0; try < len(ids); try++ {
+		x := ids[r.Intn(len(ids))]
+		y := ids[r.Intn(len(ids))]
+		if x == y {
+			continue
+		}
+		if _, _, d, ok := g.EdgeDir(x, y); ok && d == Undetermined && r.Intn(4) == 0 {
+			_ = g.Orient(x, y)
+		}
+	}
+}
+
+// TestParallelPlanMatchesSequential pins the parallel Phase-2 plan —
+// Value and every oriented pair — byte-identical to the sequential solver
+// across random chain-form graphs and worker counts.
+func TestParallelPlanMatchesSequential(t *testing.T) {
+	p := pool.New("test", 4)
+	defer p.Stop()
+	lane := p.Lane("decision")
+	for seed := int64(1); seed <= 30; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			g := New()
+			buildChainGraph(r, g, 1+r.Intn(6), 5)
+			var want, got Plan
+			if err := g.OptimalChainOrientationInto(RemainingDemand, &want); err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				if err := g.OptimalChainOrientationParallelInto(RemainingDemand, &got, lane, workers); err != nil {
+					t.Fatalf("parallel(%d): %v", workers, err)
+				}
+				if !sameFloat(want.Value, got.Value) {
+					t.Fatalf("workers=%d: Value %v != sequential %v", workers, got.Value, want.Value)
+				}
+				if !reflect.DeepEqual(want.pred, got.pred) {
+					t.Fatalf("workers=%d: pred %v != sequential %v", workers, got.pred, want.pred)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPlanReuse: the same Plan and graph must survive interleaved
+// mutations and repeated parallel solves (steady-state reuse of the
+// flattened buffers).
+func TestParallelPlanReuse(t *testing.T) {
+	p := pool.New("test", 4)
+	defer p.Stop()
+	lane := p.Lane("decision")
+	r := rand.New(rand.NewSource(3))
+	g := New()
+	buildChainGraph(r, g, 4, 4)
+	var want, got Plan
+	for round := 0; round < 5; round++ {
+		if err := g.OptimalChainOrientationInto(RemainingDemand, &want); err != nil {
+			t.Fatalf("round %d sequential: %v", round, err)
+		}
+		if err := g.OptimalChainOrientationParallelInto(RemainingDemand, &got, lane, 4); err != nil {
+			t.Fatalf("round %d parallel: %v", round, err)
+		}
+		if !sameFloat(want.Value, got.Value) || !reflect.DeepEqual(want.pred, got.pred) {
+			t.Fatalf("round %d: plans diverge", round)
+		}
+		// Drop one endpoint txn to mutate components between rounds.
+		for _, tx := range g.Txns() {
+			if len(g.nbrs[g.slots[tx.ID]]) <= 1 {
+				g.Remove(tx.ID)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package wtpg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"batchsched/internal/model"
+)
+
+// buildRandomGraph populates g with n random transactions over a small file
+// pool and commits a few random orientations, returning the txns. Mirrors
+// the generator of TestOrientationClosureStaysAcyclic.
+func buildRandomGraph(r *rand.Rand, g *Graph, n int, filePool int) []*model.Txn {
+	txns := make([]*model.Txn, 0, n)
+	for id := int64(1); id <= int64(n); id++ {
+		k := 1 + r.Intn(3)
+		files := make([]model.FileID, 0, k)
+		for len(files) < k {
+			f := model.FileID(r.Intn(filePool))
+			dup := false
+			for _, x := range files {
+				dup = dup || x == f
+			}
+			if !dup {
+				files = append(files, f)
+			}
+		}
+		t := randTxn(r, id, files...)
+		g.Add(t)
+		txns = append(txns, t)
+	}
+	for try := 0; try < 3*n; try++ {
+		from := int64(1 + r.Intn(n))
+		to := int64(1 + r.Intn(n))
+		if from == to {
+			continue
+		}
+		if _, _, d, ok := g.EdgeDir(from, to); !ok || d != Undetermined {
+			continue
+		}
+		_ = g.Orient(from, to) // ErrDeadlock leaves the graph unchanged: fine
+	}
+	return txns
+}
+
+// sameFloat compares bitwise, treating +Inf specially so the failure message
+// is readable.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestOverlayEvaluateMatchesSequential is the tentpole's core differential
+// property: for random graphs, random committed orientations, and every
+// (txn, file, mode) candidate, the overlay evaluation must return the
+// bitwise-identical E(q) that the sequential apply/undo Evaluate returns —
+// including the +Inf deadlock cases — and must leave the graph untouched.
+func TestOverlayEvaluateMatchesSequential(t *testing.T) {
+	var o Overlay
+	var base EvalBase
+	for seed := int64(1); seed <= 40; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			g := New()
+			txns := buildRandomGraph(r, g, 10, 5)
+
+			// Exercise slot and edge-ID recycling: drop a couple of txns,
+			// then add replacements.
+			for _, victim := range []int64{int64(1 + r.Intn(10)), int64(1 + r.Intn(10))} {
+				g.Remove(victim)
+			}
+			for id := int64(11); id <= 13; id++ {
+				nt := randTxn(r, id, model.FileID(r.Intn(5)), model.FileID(r.Intn(5)))
+				g.Add(nt)
+				txns = append(txns, nt)
+			}
+
+			if err := g.BuildEvalBase(RemainingDemand, &base); err != nil {
+				t.Fatalf("BuildEvalBase: %v", err)
+			}
+			before := dirSnapshot(g)
+			for _, tx := range txns {
+				if !g.Has(tx.ID) {
+					continue
+				}
+				for f := 0; f < 5; f++ {
+					for _, m := range []model.Mode{model.S, model.X} {
+						want := Evaluate(g, tx, model.FileID(f), m, RemainingDemand)
+						got := o.Evaluate(&base, tx, model.FileID(f), model.Mode(m))
+						if !sameFloat(want, got) {
+							t.Fatalf("E(q) for txn %d file %d mode %v: sequential %v, overlay %v",
+								tx.ID, f, m, want, got)
+						}
+					}
+				}
+			}
+			if after := dirSnapshot(g); len(after) != len(before) {
+				t.Fatalf("overlay evaluation mutated the graph: %d edges determined, was %d",
+					len(after), len(before))
+			} else {
+				for k, v := range before {
+					if after[k] != v {
+						t.Fatalf("overlay evaluation mutated edge %v: %v -> %v", k, v, after[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOverlayReuseAcrossDecisions: one Overlay and one EvalBase must be
+// reusable across graph mutations (rebuild base, evaluate again) without
+// stale patch state leaking between generations.
+func TestOverlayReuseAcrossDecisions(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := New()
+	txns := buildRandomGraph(r, g, 8, 4)
+	var o Overlay
+	var base EvalBase
+	for round := 0; round < 6; round++ {
+		if err := g.BuildEvalBase(RemainingDemand, &base); err != nil {
+			t.Fatalf("round %d: BuildEvalBase: %v", round, err)
+		}
+		for _, tx := range txns {
+			if !g.Has(tx.ID) {
+				continue
+			}
+			f := model.FileID(r.Intn(4))
+			want := Evaluate(g, tx, f, model.X, RemainingDemand)
+			got := o.Evaluate(&base, tx, f, model.X)
+			if !sameFloat(want, got) {
+				t.Fatalf("round %d txn %d file %d: sequential %v, overlay %v", round, tx.ID, f, want, got)
+			}
+		}
+		// Mutate between rounds: remove one, add one, orient one.
+		victim := txns[r.Intn(len(txns))]
+		g.Remove(victim.ID)
+		id := int64(100 + round)
+		nt := randTxn(r, id, model.FileID(r.Intn(4)), model.FileID(r.Intn(4)))
+		g.Add(nt)
+		txns = append(txns, nt)
+		from := txns[r.Intn(len(txns))]
+		to := txns[r.Intn(len(txns))]
+		if from.ID != to.ID && g.Has(from.ID) && g.Has(to.ID) {
+			if _, _, d, ok := g.EdgeDir(from.ID, to.ID); ok && d == Undetermined {
+				_ = g.Orient(from.ID, to.ID)
+			}
+		}
+	}
+}
+
+// TestEvalBaseMatchesCriticalPath: the frozen base answer must equal the
+// live CriticalPath bitwise.
+func TestEvalBaseMatchesCriticalPath(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := New()
+		buildRandomGraph(r, g, 12, 6)
+		want, err := g.CriticalPath(RemainingDemand)
+		if err != nil {
+			t.Fatalf("seed %d: CriticalPath: %v", seed, err)
+		}
+		var base EvalBase
+		if err := g.BuildEvalBase(RemainingDemand, &base); err != nil {
+			t.Fatalf("seed %d: BuildEvalBase: %v", seed, err)
+		}
+		if !sameFloat(want, base.CriticalPath()) {
+			t.Fatalf("seed %d: base answer %v != CriticalPath %v", seed, base.CriticalPath(), want)
+		}
+	}
+}
